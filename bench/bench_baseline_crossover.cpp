@@ -1,0 +1,53 @@
+// Experiment E11 (Section 1 context): crossover against the naive CONGEST
+// baseline that ships the whole graph to one node (Θ(D + m) rounds).
+//
+// On sparse graphs with moderate n the baseline can win (tiny m); as m
+// grows, the shortcut-compiled Õ(D+√n) algorithm overtakes it — the
+// "speedup" counter crosses 1.0 within the density sweep, reproducing why
+// sublinear-in-m algorithms matter.
+
+#include "bench_common.hpp"
+#include "congest/compile.hpp"
+#include "congest/gather_baseline.hpp"
+#include "mincut/exact_mincut.hpp"
+
+namespace umc {
+namespace {
+
+void run_crossover(benchmark::State& state, const WeightedGraph& g) {
+  minoragg::Ledger ledger;
+  mincut::PackingConfig config;
+  config.max_trees = 12;
+  congest::GatherBaselineResult baseline{};
+  for (auto _ : state) {
+    minoragg::Ledger run;
+    Rng rng(7);
+    benchmark::DoNotOptimize(mincut::exact_mincut(g, rng, run, config));
+    baseline = congest::gather_exact_mincut(g, 0);
+    ledger = run;
+  }
+  const congest::CompileCost cost = congest::measure_compile_cost(g, ledger, 3);
+  state.counters["n"] = g.n();
+  state.counters["m"] = g.m();
+  state.counters["D"] = cost.diameter;
+  state.counters["baseline_rounds"] = static_cast<double>(baseline.rounds_used);
+  state.counters["compiled_rounds"] = static_cast<double>(cost.congest_rounds_general());
+  state.counters["speedup"] = static_cast<double>(baseline.rounds_used) /
+                              static_cast<double>(cost.congest_rounds_general());
+}
+
+void BM_CrossoverDensity(benchmark::State& state) {
+  // Fixed n, growing average degree: the baseline pays Θ(m).
+  const double avg_degree = static_cast<double>(state.range(0));
+  run_crossover(state, benchutil::weighted_er(256, avg_degree, 31));
+}
+
+void BM_CrossoverSize(benchmark::State& state) {
+  run_crossover(state, benchutil::weighted_er(static_cast<NodeId>(state.range(0)), 32.0, 33));
+}
+
+BENCHMARK(BM_CrossoverDensity)->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CrossoverSize)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

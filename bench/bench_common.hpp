@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared helpers for the experiment benches (E1-E14 in DESIGN.md).
+//
+// Conventions: every bench reports the quantities the paper's claims are
+// about as google-benchmark counters — Minor-Aggregation rounds
+// ("ma_rounds"), compiled CONGEST rounds ("congest_*"), hop diameter ("D"),
+// and per-experiment structure counters. Wall time is secondary. Heavy
+// measurements run once per configuration (Iterations(1)).
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "minoragg/ledger.hpp"
+#include "tree/spanning.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace umc::benchutil {
+
+/// Copies every ledger counter (and the round count) into the benchmark's
+/// counter table.
+inline void export_ledger(benchmark::State& state, const minoragg::Ledger& ledger) {
+  state.counters["ma_rounds"] = static_cast<double>(ledger.rounds());
+  for (const auto& [key, value] : ledger.counters())
+    state.counters[key] = static_cast<double>(value);
+}
+
+/// Square grid with random weights — the excluded-minor workhorse.
+inline WeightedGraph weighted_grid(NodeId side, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightedGraph g = grid_graph(side, side);
+  randomize_weights(g, 1, 100, rng);
+  return g;
+}
+
+/// Connected Erdős–Rényi with random weights — the general-graph workhorse.
+inline WeightedGraph weighted_er(NodeId n, double avg_degree, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightedGraph g = erdos_renyi_connected(n, avg_degree / static_cast<double>(n - 1), rng);
+  randomize_weights(g, 1, 100, rng);
+  return g;
+}
+
+}  // namespace umc::benchutil

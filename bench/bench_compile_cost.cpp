@@ -1,0 +1,58 @@
+// Experiment E14 (Theorem 17): the per-round cost of compiling
+// Minor-Aggregation to CONGEST, i.e. the part-wise aggregation cost PA(G),
+// measured by actually running the O(D+√n) routine per family:
+//   * path:    PA ≈ D (global consensus dominates),
+//   * grid:    PA ≈ D ≈ 2√n,
+//   * ER:      PA ≈ √n (D = O(log n)),
+//   * dumbbell: PA ≈ D.
+// The "pa_over_D_plus_sqrtN" ratio stays bounded across all four.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "congest/compile.hpp"
+
+namespace umc {
+namespace {
+
+void run_compile(benchmark::State& state, const WeightedGraph& g) {
+  minoragg::Ledger unit;
+  unit.charge(1);
+  congest::CompileCost cost{};
+  for (auto _ : state) {
+    cost = congest::measure_compile_cost(g, unit, 5);
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["n"] = g.n();
+  state.counters["D"] = cost.diameter;
+  state.counters["sqrt_n"] = std::sqrt(static_cast<double>(g.n()));
+  state.counters["pa_rounds"] = static_cast<double>(cost.pa_rounds_general);
+  state.counters["pa_over_D_plus_sqrtN"] =
+      static_cast<double>(cost.pa_rounds_general) /
+      (static_cast<double>(cost.diameter) + std::sqrt(static_cast<double>(g.n())));
+  state.counters["pa_model_excluded_minor"] =
+      static_cast<double>(cost.pa_rounds_excluded_minor);
+}
+
+void BM_CompilePath(benchmark::State& state) {
+  run_compile(state, path_graph(static_cast<NodeId>(state.range(0))));
+}
+void BM_CompileGrid(benchmark::State& state) {
+  const NodeId side = static_cast<NodeId>(state.range(0));
+  run_compile(state, grid_graph(side, side));
+}
+void BM_CompileEr(benchmark::State& state) {
+  run_compile(state, benchutil::weighted_er(static_cast<NodeId>(state.range(0)), 8.0, 41));
+}
+void BM_CompileDumbbell(benchmark::State& state) {
+  const NodeId clique = static_cast<NodeId>(state.range(0));
+  run_compile(state, dumbbell(clique, 8 * clique));
+}
+
+BENCHMARK(BM_CompilePath)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileGrid)->Arg(16)->Arg(32)->Arg(64)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileEr)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileDumbbell)->Arg(32)->Arg(128)->Arg(256)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

@@ -1,0 +1,58 @@
+// Experiment E17 (ablation on Theorem 12): how many packing trees are
+// actually needed before some tree 2-respects the min-cut?
+//
+// Sweeps a hard cap on the number of greedy-packing iterations and reports
+// the success rate over seeds. The theorem prescribes Θ(λ log m)
+// iterations; the ablation shows the success curve saturating well before
+// that in practice — and collapsing when the cap is tiny.
+
+#include "baseline/stoer_wagner.hpp"
+#include "bench_common.hpp"
+#include "mincut/tree_packing.hpp"
+
+namespace umc {
+namespace {
+
+void BM_PackingTreesVsSuccess(benchmark::State& state) {
+  const int cap = static_cast<int>(state.range(0));
+  // High-connectivity workload (lambda >> log n): many near-minimum cuts
+  // compete, so small packings genuinely miss.
+  Rng grng(77);
+  WeightedGraph g = complete_graph(28);
+  randomize_weights(g, 40, 60, grng);
+  const baseline::GlobalMinCut cut = baseline::stoer_wagner(g);
+  std::vector<bool> in_side(static_cast<std::size_t>(g.n()), false);
+  for (const NodeId v : cut.side) in_side[static_cast<std::size_t>(v)] = true;
+
+  const int seeds = 16;
+  int successes = 0;
+  for (auto _ : state) {
+    successes = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(1000 + static_cast<std::uint64_t>(s));
+      minoragg::Ledger ledger;
+      mincut::PackingConfig config;
+      config.max_trees = cap;
+      const mincut::TreePacking packing = mincut::tree_packing(g, rng, ledger, config);
+      int best = g.n();
+      for (const auto& tree : packing.trees) {
+        int crossing = 0;
+        for (const EdgeId e : tree)
+          crossing += in_side[static_cast<std::size_t>(g.edge(e).u)] !=
+                              in_side[static_cast<std::size_t>(g.edge(e).v)]
+                          ? 1
+                          : 0;
+        best = std::min(best, crossing);
+      }
+      if (best <= 2) ++successes;
+    }
+    benchmark::DoNotOptimize(successes);
+  }
+  state.counters["max_trees"] = cap;
+  state.counters["success_rate"] = static_cast<double>(successes) / seeds;
+}
+
+BENCHMARK(BM_PackingTreesVsSuccess)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

@@ -1,0 +1,99 @@
+// Experiment E1 (Theorem 1, first bullet): exact weighted min-cut on
+// excluded-minor (planar) networks completes in Õ(D) CONGEST rounds.
+//
+// For each planar family and size we run the full pipeline (tree packing +
+// deterministic 2-respecting per tree), verify the value against
+// Stoer-Wagner, and report: Minor-Aggregation rounds, the Õ(D)-compiled
+// CONGEST rounds for the excluded-minor target, D itself, and the ratio
+// congest_rounds / (D * polylog) whose flatness across the sweep is the
+// claim's experimental signature.
+
+#include <cmath>
+
+#include "baseline/stoer_wagner.hpp"
+#include "bench_common.hpp"
+#include "congest/compile.hpp"
+#include "mincut/exact_mincut.hpp"
+
+namespace umc {
+namespace {
+
+void run_planar(benchmark::State& state, bool random_diagonals) {
+  const NodeId side = static_cast<NodeId>(state.range(0));
+  Rng rng(42 + static_cast<std::uint64_t>(side));
+  WeightedGraph g = random_diagonals ? random_planar_grid(side, side, 0.4, rng)
+                                     : grid_graph(side, side);
+  randomize_weights(g, 1, 100, rng);
+
+  minoragg::Ledger ledger;
+  mincut::PackingConfig config;
+  config.max_trees = 12;  // fixed packing budget: isolates the solver's cost
+  mincut::ExactMinCutResult result{};
+  for (auto _ : state) {
+    minoragg::Ledger run;
+    Rng run_rng(7);
+    result = mincut::exact_mincut(g, run_rng, run, config);
+    ledger = run;
+    benchmark::DoNotOptimize(result);
+  }
+  const Weight reference = baseline::stoer_wagner(g).value;
+
+  const congest::CompileCost cost = congest::measure_compile_cost(g, ledger, 3);
+  benchutil::export_ledger(state, ledger);
+  state.counters["n"] = g.n();
+  state.counters["D"] = cost.diameter;
+  state.counters["congest_excluded_minor"] =
+      static_cast<double>(cost.congest_rounds_excluded_minor());
+  state.counters["rounds_per_D_polylog"] =
+      static_cast<double>(cost.congest_rounds_excluded_minor()) /
+      (static_cast<double>(cost.diameter + 1) *
+       std::pow(std::log2(static_cast<double>(g.n())), 6.0));
+  state.counters["value"] = static_cast<double>(result.value);
+  state.counters["matches_stoer_wagner"] = result.value == reference ? 1.0 : 0.0;
+}
+
+void BM_Grid(benchmark::State& state) { run_planar(state, false); }
+void BM_RandomPlanar(benchmark::State& state) { run_planar(state, true); }
+
+// k-trees: excluded-minor (K_{k+2}-minor-free) with SMALL diameter — the
+// family where the Õ(D) target genuinely beats the general Õ(D+√n) one.
+void BM_KTree(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(17 + static_cast<std::uint64_t>(n));
+  WeightedGraph g = ktree(n, 3, rng);
+  randomize_weights(g, 1, 100, rng);
+
+  minoragg::Ledger ledger;
+  mincut::PackingConfig config;
+  config.max_trees = 12;
+  mincut::ExactMinCutResult result{};
+  for (auto _ : state) {
+    minoragg::Ledger run;
+    Rng run_rng(7);
+    result = mincut::exact_mincut(g, run_rng, run, config);
+    ledger = run;
+    benchmark::DoNotOptimize(result);
+  }
+  const congest::CompileCost cost = congest::measure_compile_cost(g, ledger, 3);
+  benchutil::export_ledger(state, ledger);
+  state.counters["n"] = g.n();
+  state.counters["D"] = cost.diameter;
+  state.counters["congest_excluded_minor"] =
+      static_cast<double>(cost.congest_rounds_excluded_minor());
+  state.counters["congest_general"] = static_cast<double>(cost.congest_rounds_general());
+  // On dense excluded-minor families the MEASURED per-round PA cost is
+  // already D-level (carve parts have tiny internal eccentricity): the
+  // family's shortcut quality is Õ(D), exactly what [12] predicts. The
+  // flatness of this ratio across the sweep is the claim's signature.
+  state.counters["measured_pa_over_D"] =
+      static_cast<double>(cost.pa_rounds_general) / static_cast<double>(cost.diameter + 1);
+  state.counters["matches_stoer_wagner"] =
+      result.value == baseline::stoer_wagner(g).value ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_Grid)->Arg(8)->Arg(12)->Arg(16)->Arg(24)->Arg(32)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomPlanar)->Arg(8)->Arg(16)->Arg(32)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KTree)->Arg(128)->Arg(256)->Arg(512)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

@@ -1,0 +1,46 @@
+// Experiment E7 (Figure 5 / Section 9 analysis): the centroid recursion's
+// depth and the virtual-node population.
+//
+// Claims verified: recursion depth <= log2 n (centroid halving) and
+// |Virt| = O(log n) per instance (one virtual centroid per level; the
+// de-cascading of Section 2 keeps the Theorem 14 multiplier at O(log n)
+// instead of exploding multiplicatively). Also an ablation: the hypothetical
+// cost WITHOUT de-cascading, i.e. if every level multiplied its children's
+// rounds by (beta+1), reconstructed as (beta_max+1)^depth.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "mincut/two_respect.hpp"
+
+namespace umc {
+namespace {
+
+void BM_CentroidRecursion(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(13 + static_cast<std::uint64_t>(n));
+  WeightedGraph g = random_connected(n, 2 * n, rng);
+  randomize_weights(g, 1, 100, rng);
+  const auto tree = bfs_spanning_tree(g, 0);
+
+  minoragg::Ledger ledger;
+  for (auto _ : state) {
+    minoragg::Ledger run;
+    benchmark::DoNotOptimize(mincut::two_respecting_mincut(g, tree, 0, run));
+    ledger = run;
+  }
+  benchutil::export_ledger(state, ledger);
+  const double depth = static_cast<double>(ledger.counter("max_general_depth"));
+  const double beta = static_cast<double>(ledger.counter("max_beta"));
+  state.counters["n"] = n;
+  state.counters["log2_n"] = std::log2(static_cast<double>(n));
+  state.counters["depth_over_log2n"] = depth / std::log2(static_cast<double>(n));
+  // Ablation: simulation-cascade blowup factor a naive implementation would
+  // pay on top (multiplicative (beta+1) per level instead of once).
+  state.counters["cascade_blowup_if_naive"] = std::pow(beta + 1.0, depth - 1.0);
+}
+
+BENCHMARK(BM_CentroidRecursion)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

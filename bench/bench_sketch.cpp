@@ -1,0 +1,72 @@
+// Experiment E13 (Example 8): the deterministic Misra-Gries heavy-hitter
+// aggregation operator — merge throughput and the (1)/(2) guarantee rates
+// measured over adversarial streams.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "sketch/misra_gries.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+namespace {
+
+void BM_SketchAddThroughput(benchmark::State& state) {
+  const int capacity = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<std::pair<std::uint64_t, Weight>> stream;
+  for (int i = 0; i < 100000; ++i)
+    stream.emplace_back(rng.next_below(1000), rng.next_in(1, 50));
+  for (auto _ : state) {
+    MisraGries s(capacity);
+    for (const auto& [k, w] : stream) s.add(k, w);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(stream.size()));
+  state.counters["capacity"] = capacity;
+}
+
+void BM_SketchMergeTreeAndGuarantees(benchmark::State& state) {
+  // Merge 256 leaf sketches in a binary tree (the shape a subtree-sum fold
+  // produces) and verify the Example 8 guarantees at the root.
+  const int capacity = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<MisraGries> leaves(256, MisraGries(capacity));
+  std::map<std::uint64_t, Weight> truth;
+  Weight total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.next_bool(0.5) ? rng.next_below(3) : 10 + rng.next_below(500);
+    const Weight w = rng.next_in(1, 9);
+    leaves[static_cast<std::size_t>(rng.next_below(256))].add(key, w);
+    truth[key] += w;
+    total += w;
+  }
+  double include_ok = 1.0, exclude_ok = 1.0;
+  for (auto _ : state) {
+    std::vector<MisraGries> level = leaves;
+    while (level.size() > 1) {
+      std::vector<MisraGries> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+        next.push_back(MisraGries::merge(level[i], level[i + 1]));
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = std::move(next);
+    }
+    const auto hh = level.front().heavy_hitters();
+    for (const auto& [key, f] : truth) {
+      const bool in = std::find(hh.begin(), hh.end(), key) != hh.end();
+      if (f * capacity > 2 * total && !in) include_ok = 0.0;  // guarantee (1)
+      if (f * capacity <= total && in) exclude_ok = 0.0;      // guarantee (2)
+    }
+    benchmark::DoNotOptimize(hh);
+  }
+  state.counters["capacity"] = capacity;
+  state.counters["guarantee1_holds"] = include_ok;
+  state.counters["guarantee2_holds"] = exclude_ok;
+}
+
+BENCHMARK(BM_SketchAddThroughput)->Arg(4)->Arg(8)->Arg(32);
+BENCHMARK(BM_SketchMergeTreeAndGuarantees)->Arg(4)->Arg(5)->Arg(8)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

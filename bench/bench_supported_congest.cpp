@@ -1,0 +1,44 @@
+// Experiment E18 (Theorem 1, bullet 2 proxy): the supported-CONGEST target
+// Õ(SQ(G)) with known topology. SQ(G) is estimated empirically as the
+// worst measured part-wise-aggregation cost over several partitions; the
+// estimate separates families exactly as shortcut quality does:
+// expanders ~ polylog-ish, grids ~ √n, paths/dumbbells ~ D.
+
+#include "bench_common.hpp"
+#include "congest/compile.hpp"
+#include "graph/properties.hpp"
+
+namespace umc {
+namespace {
+
+void run_sq(benchmark::State& state, const WeightedGraph& g) {
+  std::int64_t sq = 0;
+  for (auto _ : state) {
+    sq = congest::estimate_shortcut_quality(g, 3, 7);
+    benchmark::DoNotOptimize(sq);
+  }
+  state.counters["n"] = g.n();
+  state.counters["D"] = approx_diameter(g);
+  state.counters["sq_estimate"] = static_cast<double>(sq);
+  state.counters["sq_over_sqrtN"] =
+      static_cast<double>(sq) / __builtin_sqrt(static_cast<double>(g.n()));
+}
+
+void BM_SqExpander(benchmark::State& state) {
+  Rng rng(3);
+  run_sq(state, ring_expander(static_cast<NodeId>(state.range(0)), 3, rng));
+}
+void BM_SqGrid(benchmark::State& state) {
+  const NodeId side = static_cast<NodeId>(state.range(0));
+  run_sq(state, grid_graph(side, side));
+}
+void BM_SqPath(benchmark::State& state) {
+  run_sq(state, path_graph(static_cast<NodeId>(state.range(0))));
+}
+
+BENCHMARK(BM_SqExpander)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqGrid)->Arg(16)->Arg(32)->Arg(64)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SqPath)->Arg(256)->Arg(1024)->Arg(4096)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

@@ -1,0 +1,70 @@
+// Experiment E8 (Theorem 12): tree packing.
+//
+// Reports the number of trees (Θ(log^2 n) after sampling), whether the
+// Karger-sampling route was taken, and — the theorem's whp guarantee — the
+// fraction of seeds for which some tree 2-respects the true min-cut.
+
+#include "baseline/stoer_wagner.hpp"
+#include "bench_common.hpp"
+#include "mincut/tree_packing.hpp"
+
+namespace umc {
+namespace {
+
+void run_packing(benchmark::State& state, const WeightedGraph& g) {
+  const baseline::GlobalMinCut cut = baseline::stoer_wagner(g);
+  std::vector<bool> in_side(static_cast<std::size_t>(g.n()), false);
+  for (const NodeId v : cut.side) in_side[static_cast<std::size_t>(v)] = true;
+
+  int successes = 0;
+  const int seeds = 8;
+  std::int64_t trees = 0, sampled = 0, rounds = 0;
+  for (auto _ : state) {
+    successes = 0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(100 + static_cast<std::uint64_t>(s));
+      minoragg::Ledger ledger;
+      const mincut::TreePacking packing = mincut::tree_packing(g, rng, ledger);
+      trees = static_cast<std::int64_t>(packing.trees.size());
+      sampled = packing.sampled ? 1 : 0;
+      rounds = ledger.rounds();
+      int best = g.n();
+      for (const auto& tree : packing.trees) {
+        int crossing = 0;
+        for (const EdgeId e : tree)
+          crossing += in_side[static_cast<std::size_t>(g.edge(e).u)] !=
+                              in_side[static_cast<std::size_t>(g.edge(e).v)]
+                          ? 1
+                          : 0;
+        best = std::min(best, crossing);
+      }
+      if (best <= 2) ++successes;
+    }
+    benchmark::DoNotOptimize(successes);
+  }
+  state.counters["n"] = g.n();
+  state.counters["num_trees"] = static_cast<double>(trees);
+  state.counters["sampled_route"] = static_cast<double>(sampled);
+  state.counters["ma_rounds"] = static_cast<double>(rounds);
+  state.counters["two_respect_success_rate"] =
+      static_cast<double>(successes) / static_cast<double>(seeds);
+}
+
+void BM_PackingSparse(benchmark::State& state) {
+  run_packing(state, benchutil::weighted_er(static_cast<NodeId>(state.range(0)), 6.0, 21));
+}
+
+void BM_PackingDense(benchmark::State& state) {
+  // High min-cut value: exercises the Karger-sampling route (case B).
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(23);
+  WeightedGraph g = complete_graph(n);
+  randomize_weights(g, 50, 100, rng);
+  run_packing(state, g);
+}
+
+BENCHMARK(BM_PackingSparse)->Arg(32)->Arg(64)->Arg(128)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PackingDense)->Arg(16)->Arg(24)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

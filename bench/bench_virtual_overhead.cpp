@@ -1,0 +1,59 @@
+// Experiment E9 (Theorem 14): the virtual-node simulation overhead is
+// O(beta + 1).
+//
+// A fixed workload (deterministic HL construction + subtree sums) runs on a
+// grid extended with beta arbitrarily-connected virtual nodes; the settled
+// round count divided by the beta = 0 baseline tracks (beta + 1) exactly —
+// the paper's multiplicative bound, realized by the Theorem 14 proof.
+
+#include "bench_common.hpp"
+#include "minoragg/tree_primitives.hpp"
+#include "minoragg/virtual_graph.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace umc {
+namespace {
+
+std::int64_t workload_rounds(const WeightedGraph& g, int beta, minoragg::Ledger& outer) {
+  minoragg::Ledger inner;
+  const auto tree = bfs_spanning_tree(g, 0);
+  const RootedTree t(g, tree, 0);
+  const HeavyLightDecomposition hld = minoragg::hl_construct(t, inner);
+  const std::vector<std::int64_t> ones(static_cast<std::size_t>(g.n()), 1);
+  benchmark::DoNotOptimize(minoragg::hl_subtree_sums<SumAgg>(t, hld, ones, inner));
+  minoragg::settle_virtual_execution(outer, inner, beta);
+  return outer.rounds();
+}
+
+void BM_VirtualOverhead(benchmark::State& state) {
+  const int beta = static_cast<int>(state.range(0));
+  Rng rng(3);
+  WeightedGraph g = grid_graph(12, 12);
+  // Attach beta virtual nodes with arbitrary connections (Definition 13).
+  minoragg::VirtualGraph vg = minoragg::VirtualGraph::wrap(g);
+  for (int b = 0; b < beta; ++b) {
+    const NodeId v = vg.add_virtual_node();
+    for (int c = 0; c <= b; ++c)
+      vg.graph.add_edge(static_cast<NodeId>(rng.next_below(144)), v, 1);
+  }
+
+  std::int64_t with_beta = 0;
+  for (auto _ : state) {
+    minoragg::Ledger outer;
+    with_beta = workload_rounds(vg.graph, vg.beta(), outer);
+    benchmark::DoNotOptimize(with_beta);
+  }
+  minoragg::Ledger base;
+  const std::int64_t without = workload_rounds(g, 0, base);
+
+  state.counters["beta"] = beta;
+  state.counters["rounds"] = static_cast<double>(with_beta);
+  state.counters["overhead_factor"] =
+      static_cast<double>(with_beta) / static_cast<double>(without);
+  state.counters["theorem14_bound"] = beta + 1;
+}
+
+BENCHMARK(BM_VirtualOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+}  // namespace
+}  // namespace umc

@@ -1,0 +1,63 @@
+// Scenario: reliability audit of a planar utility network.
+//
+// A power distribution grid is (close to) planar: substations on a lattice
+// with a few diagonal feeders. The operator wants the network's weakest
+// point — the set of lines whose combined capacity is smallest among all
+// ways of splitting the grid in two (the weighted min-cut), and how long a
+// decentralized audit would take if every substation only talks to its
+// neighbors (the CONGEST round count).
+//
+// This is the paper's headline setting: on excluded-minor (planar)
+// topologies the audit compiles to Õ(D) rounds, so the time is governed by
+// the grid's physical diameter, not its size.
+//
+//   $ ./example_utility_grid_reliability [side=12]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/stoer_wagner.hpp"
+#include "congest/compile.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mincut/exact_mincut.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace umc;
+  const NodeId side = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 12;
+
+  Rng rng(7);
+  // Planar lattice with ~40% of faces carrying a diagonal feeder; line
+  // capacities 5..120 MW.
+  WeightedGraph g = random_planar_grid(side, side, 0.4, rng);
+  randomize_weights(g, 5, 120, rng);
+  std::printf("utility grid: %d substations, %d lines, diameter %d\n", g.n(), g.m(),
+              approx_diameter(g));
+
+  minoragg::Ledger ledger;
+  mincut::PackingConfig config;
+  config.max_trees = 16;
+  const mincut::ExactMinCutResult cut = mincut::exact_mincut(g, rng, ledger, config);
+  const baseline::GlobalMinCut oracle = baseline::stoer_wagner(g);
+
+  std::printf("\nweakest split: %lld MW of line capacity\n", static_cast<long long>(cut.value));
+  std::printf("  (centralized cross-check: %lld MW, %s)\n",
+              static_cast<long long>(oracle.value),
+              oracle.value == cut.value ? "match" : "MISMATCH");
+  std::printf("  one side of the split has %zu of %d substations\n", oracle.side.size(),
+              g.n());
+
+  const congest::CompileCost cost = congest::measure_compile_cost(g, ledger);
+  std::printf("\ndecentralized audit cost:\n");
+  std::printf("  minor-aggregation rounds: %lld\n", static_cast<long long>(cost.ma_rounds));
+  std::printf("  per-MA-round compile cost on this planar grid (Õ(D) shortcuts): %lld\n",
+              static_cast<long long>(cost.pa_rounds_excluded_minor));
+  std::printf("  total compiled CONGEST rounds: %lld, scaling with D = %d — not with n\n",
+              static_cast<long long>(cost.congest_rounds_excluded_minor()), cost.diameter);
+  std::printf(
+      "  (note: a square grid has D ~ 2*sqrt(n), so here the planar Õ(D) target\n"
+      "   coincides with the general Õ(D+sqrt(n)) one; the planar advantage is\n"
+      "   decisive on small-diameter planar topologies — see EXPERIMENTS.md E1/E14)\n");
+  return oracle.value == cut.value ? 0 : 1;
+}

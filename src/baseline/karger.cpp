@@ -1,0 +1,40 @@
+#include "baseline/karger.hpp"
+
+#include <algorithm>
+
+#include "graph/dsu.hpp"
+#include "util/assert.hpp"
+
+namespace umc::baseline {
+
+Weight karger_single_run(const WeightedGraph& g, Rng& rng) {
+  UMC_ASSERT(g.n() >= 2);
+  // Weighted contraction: pick edges with probability proportional to
+  // weight, via a weight-proportional index draw per contraction.
+  Dsu dsu(g.n());
+  NodeId components = g.n();
+  // Prefix sums over edge weights for proportional sampling.
+  std::vector<Weight> prefix(static_cast<std::size_t>(g.m()) + 1, 0);
+  for (EdgeId e = 0; e < g.m(); ++e)
+    prefix[static_cast<std::size_t>(e) + 1] = prefix[static_cast<std::size_t>(e)] + g.edge(e).w;
+  const Weight total = prefix.back();
+  while (components > 2) {
+    const Weight r = static_cast<Weight>(rng.next_below(static_cast<std::uint64_t>(total)));
+    const auto it = std::upper_bound(prefix.begin(), prefix.end(), r);
+    const EdgeId e = static_cast<EdgeId>(it - prefix.begin() - 1);
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) --components;
+  }
+  Weight cut = 0;
+  for (const Edge& e : g.edges())
+    if (!dsu.same(e.u, e.v)) cut += e.w;
+  return cut;
+}
+
+Weight karger_min_cut(const WeightedGraph& g, int trials, Rng& rng) {
+  UMC_ASSERT(trials >= 1);
+  Weight best = karger_single_run(g, rng);
+  for (int t = 1; t < trials; ++t) best = std::min(best, karger_single_run(g, rng));
+  return best;
+}
+
+}  // namespace umc::baseline

@@ -1,0 +1,20 @@
+#pragma once
+
+// Karger's randomized contraction min-cut (Monte Carlo).
+//
+// A second, independent oracle used in randomized cross-checks; also the
+// historical root of the tree-packing approach the paper builds on.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace umc::baseline {
+
+/// One contraction run: returns the value of the resulting 2-supernode cut.
+[[nodiscard]] Weight karger_single_run(const WeightedGraph& g, Rng& rng);
+
+/// Best of `trials` runs. With trials = Θ(n^2 log n), correct whp; smaller
+/// values give a fast upper bound. Requires a connected graph, n >= 2.
+[[nodiscard]] Weight karger_min_cut(const WeightedGraph& g, int trials, Rng& rng);
+
+}  // namespace umc::baseline

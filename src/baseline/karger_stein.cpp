@@ -1,0 +1,86 @@
+#include "baseline/karger_stein.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace umc::baseline {
+
+namespace {
+
+/// Working representation: contracted multigraph as an edge list over
+/// supernode labels, plus the live supernode count.
+struct Contracted {
+  struct E {
+    NodeId u, v;
+    Weight w;
+  };
+  std::vector<E> edges;
+  NodeId live = 0;
+
+  /// Contract weight-proportionally until `target` supernodes remain.
+  void contract_to(NodeId target, Rng& rng) {
+    while (live > target) {
+      Weight total = 0;
+      for (const E& e : edges) total += e.w;
+      UMC_ASSERT_MSG(total > 0, "graph must stay connected during contraction");
+      Weight r = static_cast<Weight>(rng.next_below(static_cast<std::uint64_t>(total)));
+      std::size_t pick = 0;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (r < edges[i].w) {
+          pick = i;
+          break;
+        }
+        r -= edges[i].w;
+      }
+      const NodeId keep = edges[pick].u;
+      const NodeId gone = edges[pick].v;
+      std::vector<E> next;
+      next.reserve(edges.size());
+      for (E e : edges) {
+        if (e.u == gone) e.u = keep;
+        if (e.v == gone) e.v = keep;
+        if (e.u != e.v) next.push_back(e);
+      }
+      edges = std::move(next);
+      --live;
+    }
+  }
+
+  [[nodiscard]] Weight cut_value() const {
+    Weight total = 0;
+    for (const E& e : edges) total += e.w;
+    return total;
+  }
+};
+
+Weight recursive_contract(Contracted g, Rng& rng) {
+  if (g.live <= 6) {
+    g.contract_to(2, rng);
+    return g.cut_value();
+  }
+  const NodeId target = static_cast<NodeId>(
+      std::ceil(static_cast<double>(g.live) / 1.4142135623730951)) + 1;
+  Contracted a = g;
+  a.contract_to(target, rng);
+  Contracted b = std::move(g);
+  b.contract_to(target, rng);
+  return std::min(recursive_contract(std::move(a), rng), recursive_contract(std::move(b), rng));
+}
+
+}  // namespace
+
+Weight karger_stein_min_cut(const WeightedGraph& g, int repeats, Rng& rng) {
+  UMC_ASSERT(g.n() >= 2);
+  UMC_ASSERT(repeats >= 1);
+  Contracted base;
+  base.live = g.n();
+  base.edges.reserve(static_cast<std::size_t>(g.m()));
+  for (const Edge& e : g.edges()) base.edges.push_back({e.u, e.v, e.w});
+  Weight best = recursive_contract(base, rng);
+  for (int r = 1; r < repeats; ++r) best = std::min(best, recursive_contract(base, rng));
+  return best;
+}
+
+}  // namespace umc::baseline

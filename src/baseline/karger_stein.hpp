@@ -1,0 +1,19 @@
+#pragma once
+
+// Karger-Stein recursive contraction (centralized, randomized).
+//
+// The stronger classical baseline: contract down to n/√2 + 1 supernodes,
+// recurse twice, take the better branch — success probability Ω(1/log n)
+// per run vs Ω(1/n²) for flat contraction. Used as a second randomized
+// oracle and in the baseline benchmarks.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace umc::baseline {
+
+/// Best cut over `repeats` recursive-contraction runs. Requires a connected
+/// graph with n >= 2. Θ(log² n) repeats give whp correctness.
+[[nodiscard]] Weight karger_stein_min_cut(const WeightedGraph& g, int repeats, Rng& rng);
+
+}  // namespace umc::baseline

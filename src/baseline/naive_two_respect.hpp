@@ -1,0 +1,19 @@
+#pragma once
+
+// Naive O(n^2 * depth + m * depth^2) 2-respecting min-cut oracle: evaluates
+// Cut(e, f) for every pair of tree edges directly from the definitions.
+// The distributed algorithm of Sections 5-9 is property-tested against it.
+
+#include "mincut/instance.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace umc::baseline {
+
+/// min over pairs (e, f) of tree edges of Cut_{T,G}(e, f), including e == f
+/// (the 1-respecting cuts). Returned edges are host-graph edge ids.
+[[nodiscard]] mincut::CutResult naive_two_respecting(const RootedTree& t);
+
+/// min over single tree edges of Cut(e).
+[[nodiscard]] mincut::CutResult naive_one_respecting(const RootedTree& t);
+
+}  // namespace umc::baseline

@@ -1,0 +1,77 @@
+#include "baseline/stoer_wagner.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace umc::baseline {
+
+GlobalMinCut stoer_wagner(const WeightedGraph& g) {
+  const NodeId n = g.n();
+  UMC_ASSERT_MSG(n >= 2, "a min-cut needs at least two nodes");
+
+  // Dense adjacency (parallel edges summed).
+  std::vector<std::vector<Weight>> w(static_cast<std::size_t>(n),
+                                     std::vector<Weight>(static_cast<std::size_t>(n), 0));
+  for (const Edge& e : g.edges()) {
+    w[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)] += e.w;
+    w[static_cast<std::size_t>(e.v)][static_cast<std::size_t>(e.u)] += e.w;
+  }
+
+  // merged[v]: the original nodes currently fused into v.
+  std::vector<std::vector<NodeId>> merged(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) merged[static_cast<std::size_t>(v)] = {v};
+  std::vector<bool> gone(static_cast<std::size_t>(n), false);
+
+  GlobalMinCut best;
+  best.value = -1;  // sentinel: unset
+
+  for (NodeId phase = 0; phase < n - 1; ++phase) {
+    // Maximum-adjacency ordering over the surviving nodes.
+    std::vector<Weight> conn(static_cast<std::size_t>(n), 0);
+    std::vector<bool> added(static_cast<std::size_t>(n), false);
+    NodeId prev = kNoNode, last = kNoNode;
+    const NodeId alive = n - phase;
+    for (NodeId step = 0; step < alive; ++step) {
+      NodeId pick = kNoNode;
+      for (NodeId v = 0; v < n; ++v) {
+        if (gone[static_cast<std::size_t>(v)] || added[static_cast<std::size_t>(v)]) continue;
+        if (pick == kNoNode || conn[static_cast<std::size_t>(v)] > conn[static_cast<std::size_t>(pick)])
+          pick = v;
+      }
+      added[static_cast<std::size_t>(pick)] = true;
+      prev = last;
+      last = pick;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!gone[static_cast<std::size_t>(v)] && !added[static_cast<std::size_t>(v)])
+          conn[static_cast<std::size_t>(v)] += w[static_cast<std::size_t>(pick)][static_cast<std::size_t>(v)];
+      }
+    }
+
+    // Cut-of-the-phase: `last` against the rest.
+    const Weight phase_cut = conn[static_cast<std::size_t>(last)];
+    if (best.value < 0 || phase_cut < best.value) {
+      best.value = phase_cut;
+      best.side = merged[static_cast<std::size_t>(last)];
+    }
+
+    // Merge `last` into `prev`.
+    UMC_ASSERT_MSG(prev != kNoNode, "graph must be connected");
+    gone[static_cast<std::size_t>(last)] = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (gone[static_cast<std::size_t>(v)]) continue;
+      w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)] +=
+          w[static_cast<std::size_t>(last)][static_cast<std::size_t>(v)];
+      w[static_cast<std::size_t>(v)][static_cast<std::size_t>(prev)] =
+          w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)];
+    }
+    auto& dst = merged[static_cast<std::size_t>(prev)];
+    auto& src = merged[static_cast<std::size_t>(last)];
+    dst.insert(dst.end(), src.begin(), src.end());
+    src.clear();
+  }
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+}  // namespace umc::baseline

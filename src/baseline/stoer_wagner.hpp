@@ -1,0 +1,23 @@
+#pragma once
+
+// Stoer-Wagner exact global min-cut (centralized, O(n^3)).
+//
+// The verification oracle of the whole repository: every distributed
+// min-cut result is cross-checked against it in tests and experiments.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace umc::baseline {
+
+struct GlobalMinCut {
+  Weight value = 0;
+  /// One side of the optimal cut (node ids of the host graph).
+  std::vector<NodeId> side;
+};
+
+/// Requires a connected graph with n >= 2.
+[[nodiscard]] GlobalMinCut stoer_wagner(const WeightedGraph& g);
+
+}  // namespace umc::baseline

@@ -1,0 +1,57 @@
+#include "congest/bfs_tree.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace umc::congest {
+
+BfsTree build_bfs_tree(CongestNetwork& net, NodeId root) {
+  const WeightedGraph& g = net.graph();
+  UMC_ASSERT(root >= 0 && root < g.n());
+  const std::int64_t start = net.rounds();
+
+  BfsTree t;
+  t.root = root;
+  t.parent.assign(static_cast<std::size_t>(g.n()), kNoNode);
+  t.parent_edge.assign(static_cast<std::size_t>(g.n()), kNoEdge);
+  t.depth.assign(static_cast<std::size_t>(g.n()), -1);
+  t.children.assign(static_cast<std::size_t>(g.n()), {});
+  t.depth[static_cast<std::size_t>(root)] = 0;
+
+  std::vector<NodeId> frontier = {root};
+  while (!frontier.empty()) {
+    // Each frontier node announces itself over all incident edges.
+    for (const NodeId v : frontier) {
+      for (const AdjEntry& a : g.adj(v)) net.send(v, a.edge, t.depth[static_cast<std::size_t>(v)]);
+    }
+    net.end_round();
+    std::vector<NodeId> next;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (t.depth[static_cast<std::size_t>(v)] != -1) continue;
+      // Join via the smallest-id announcing edge (deterministic).
+      EdgeId best = kNoEdge;
+      for (const Message& m : net.inbox(v)) {
+        if (best == kNoEdge || m.via < best) best = m.via;
+      }
+      if (best == kNoEdge) continue;
+      const NodeId p = g.edge(best).other(v);
+      t.parent[static_cast<std::size_t>(v)] = p;
+      t.parent_edge[static_cast<std::size_t>(v)] = best;
+      t.depth[static_cast<std::size_t>(v)] = t.depth[static_cast<std::size_t>(p)] + 1;
+      next.push_back(v);
+    }
+    frontier = std::move(next);
+  }
+
+  for (NodeId v = 0; v < g.n(); ++v) {
+    UMC_ASSERT_MSG(t.depth[static_cast<std::size_t>(v)] >= 0, "graph must be connected");
+    t.height = std::max(t.height, t.depth[static_cast<std::size_t>(v)]);
+    if (t.parent[static_cast<std::size_t>(v)] != kNoNode)
+      t.children[static_cast<std::size_t>(t.parent[static_cast<std::size_t>(v)])].push_back(v);
+  }
+  t.rounds_used = net.rounds() - start;
+  return t;
+}
+
+}  // namespace umc::congest

@@ -1,0 +1,27 @@
+#pragma once
+
+// Distributed BFS-tree construction in CONGEST: the universal communication
+// backbone for part-wise aggregation and the gather baseline. Runs in
+// ecc(root) + 1 rounds, measured.
+
+#include <vector>
+
+#include "congest/congest_net.hpp"
+#include "graph/graph.hpp"
+
+namespace umc::congest {
+
+struct BfsTree {
+  NodeId root = kNoNode;
+  std::vector<NodeId> parent;       // kNoNode for root
+  std::vector<EdgeId> parent_edge;  // kNoEdge for root
+  std::vector<int> depth;
+  std::vector<std::vector<NodeId>> children;
+  int height = 0;
+  std::int64_t rounds_used = 0;
+};
+
+/// Flood-fill BFS through the CONGEST network (messages counted on `net`).
+[[nodiscard]] BfsTree build_bfs_tree(CongestNetwork& net, NodeId root);
+
+}  // namespace umc::congest

@@ -1,0 +1,148 @@
+#include "congest/compiled_network.hpp"
+
+#include <limits>
+#include <set>
+
+#include "graph/dsu.hpp"
+#include "util/assert.hpp"
+
+namespace umc::congest {
+
+CompiledRoundResult execute_ma_round(
+    CongestNetwork& net, const std::vector<bool>& contract,
+    std::span<const std::int64_t> node_input, PartwiseOp consensus_op,
+    const std::function<std::pair<std::int64_t, std::int64_t>(EdgeId, std::int64_t,
+                                                              std::int64_t)>& edge_values,
+    PartwiseOp aggregate_op) {
+  const WeightedGraph& g = net.graph();
+  UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
+  UMC_ASSERT(static_cast<NodeId>(node_input.size()) == g.n());
+  const std::int64_t start = net.rounds();
+
+  // Parts of the contraction (bookkeeping only — each node knows its
+  // incident contracted edges, which is what PA consumes).
+  Dsu dsu(g.n());
+  for (EdgeId e = 0; e < g.m(); ++e)
+    if (contract[static_cast<std::size_t>(e)]) dsu.unite(g.edge(e).u, g.edge(e).v);
+  std::vector<int> part(static_cast<std::size_t>(g.n()));
+  {
+    std::vector<int> dense(static_cast<std::size_t>(g.n()), -1);
+    int next = 0;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const NodeId r = dsu.find(v);
+      if (dense[static_cast<std::size_t>(r)] == -1) dense[static_cast<std::size_t>(r)] = next++;
+      part[static_cast<std::size_t>(v)] = dense[static_cast<std::size_t>(r)];
+    }
+  }
+
+  CompiledRoundResult out;
+
+  // Step 1: leader election — min-fold of node ids per part.
+  {
+    std::vector<std::int64_t> ids(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v) ids[static_cast<std::size_t>(v)] = v;
+    const PartwiseResult leaders = partwise_aggregate(net, part, ids, PartwiseOp::kMin);
+    out.supernode.resize(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v)
+      out.supernode[static_cast<std::size_t>(v)] =
+          static_cast<NodeId>(leaders.value[static_cast<std::size_t>(v)]);
+  }
+
+  // Step 2: consensus.
+  {
+    const PartwiseResult consensus = partwise_aggregate(net, part, node_input, consensus_op);
+    out.consensus = consensus.value;
+  }
+
+  // Step 3: y-exchange — one real CONGEST round over every edge.
+  std::vector<std::int64_t> y_other(static_cast<std::size_t>(g.m()) * 2, 0);
+  {
+    for (NodeId v = 0; v < g.n(); ++v)
+      for (const AdjEntry& a : g.adj(v))
+        net.send(v, a.edge, out.consensus[static_cast<std::size_t>(v)]);
+    net.end_round();
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const Message& m : net.inbox(v)) {
+        const Edge& ed = g.edge(m.via);
+        // Slot 2e+0 holds y at u's side FROM v; addressed by receiver side.
+        const std::size_t slot = static_cast<std::size_t>(m.via) * 2 + (v == ed.v ? 1 : 0);
+        y_other[slot] = m.payload;
+      }
+    }
+  }
+
+  // Step 4: local z-fold per node, then one part-wise aggregation.
+  {
+    const auto identity = [aggregate_op]() {
+      return aggregate_op == PartwiseOp::kSum ? 0 : std::numeric_limits<std::int64_t>::max();
+    };
+    const auto fold = [aggregate_op](std::int64_t a, std::int64_t b) {
+      return aggregate_op == PartwiseOp::kSum ? a + b : std::min(a, b);
+    };
+    std::vector<std::int64_t> partial(static_cast<std::size_t>(g.n()), identity());
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const Edge& ed = g.edge(e);
+      if (out.supernode[static_cast<std::size_t>(ed.u)] ==
+          out.supernode[static_cast<std::size_t>(ed.v)])
+        continue;  // self-loop in the minor
+      // Each endpoint evaluates the edge's z for its side: it holds its own
+      // y and the y it RECEIVED over the edge in step 3.
+      const std::int64_t yu = y_other[static_cast<std::size_t>(e) * 2 + 1];  // u's y, held at v
+      const std::int64_t yv = y_other[static_cast<std::size_t>(e) * 2 + 0];  // v's y, held at u
+      UMC_ASSERT(yu == out.consensus[static_cast<std::size_t>(ed.u)]);
+      UMC_ASSERT(yv == out.consensus[static_cast<std::size_t>(ed.v)]);
+      const auto [zu, zv] = edge_values(e, yu, yv);
+      partial[static_cast<std::size_t>(ed.u)] = fold(partial[static_cast<std::size_t>(ed.u)], zu);
+      partial[static_cast<std::size_t>(ed.v)] = fold(partial[static_cast<std::size_t>(ed.v)], zv);
+    }
+    const PartwiseResult agg = partwise_aggregate(net, part, partial, aggregate_op);
+    out.aggregate = agg.value;
+  }
+
+  out.congest_rounds = net.rounds() - start;
+  return out;
+}
+
+CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
+                                       std::span<const std::int64_t> cost) {
+  UMC_ASSERT(static_cast<EdgeId>(cost.size()) == g.m());
+  // Pack (cost, edge id) into one CONGEST word: cost in the high bits, id
+  // in the low 31. Requires cost < 2^32 (weights are poly(n)).
+  for (const std::int64_t c : cost) UMC_ASSERT(0 <= c && c < (1LL << 32));
+  const auto pack = [](std::int64_t c, EdgeId e) { return (c << 31) | e; };
+  const auto unpack_edge = [](std::int64_t key) {
+    return static_cast<EdgeId>(key & ((1LL << 31) - 1));
+  };
+
+  CongestNetwork net(g);
+  CompiledBoruvkaResult out;
+  std::vector<bool> selected(static_cast<std::size_t>(g.m()), false);
+  const std::vector<std::int64_t> zeros(static_cast<std::size_t>(g.n()), 0);
+  for (;;) {
+    const CompiledRoundResult round = execute_ma_round(
+        net, selected, zeros, PartwiseOp::kSum,
+        [&](EdgeId e, std::int64_t, std::int64_t) {
+          const std::int64_t key = pack(cost[static_cast<std::size_t>(e)], e);
+          return std::pair{key, key};
+        },
+        PartwiseOp::kMin);
+    ++out.ma_rounds;
+
+    std::set<EdgeId> chosen;
+    bool single = true;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (round.supernode[static_cast<std::size_t>(v)] != round.supernode[0]) single = false;
+      const std::int64_t key = round.aggregate[static_cast<std::size_t>(v)];
+      if (key != std::numeric_limits<std::int64_t>::max()) chosen.insert(unpack_edge(key));
+    }
+    if (single) break;
+    UMC_ASSERT_MSG(!chosen.empty(), "compiled boruvka requires a connected graph");
+    for (const EdgeId e : chosen) selected[static_cast<std::size_t>(e)] = true;
+  }
+  for (EdgeId e = 0; e < g.m(); ++e)
+    if (selected[static_cast<std::size_t>(e)]) out.tree.push_back(e);
+  out.congest_rounds = net.rounds();
+  return out;
+}
+
+}  // namespace umc::congest

@@ -1,0 +1,33 @@
+#include "congest/congest_net.hpp"
+
+#include "util/assert.hpp"
+
+namespace umc::congest {
+
+CongestNetwork::CongestNetwork(const WeightedGraph& g)
+    : g_(&g),
+      slot_used_(static_cast<std::size_t>(g.m()) * 2, false),
+      inbox_(static_cast<std::size_t>(g.n())) {}
+
+void CongestNetwork::send(NodeId from, EdgeId via, std::int64_t payload, std::int64_t aux) {
+  const Edge& e = g_->edge(via);
+  UMC_ASSERT(from == e.u || from == e.v);
+  const std::size_t slot = static_cast<std::size_t>(via) * 2 + (from == e.v ? 1 : 0);
+  UMC_ASSERT_MSG(!slot_used_[slot], "one message per edge-direction per round (CONGEST)");
+  slot_used_[slot] = true;
+  staged_.push_back(Message{from, via, payload, aux});
+}
+
+void CongestNetwork::end_round() {
+  // Inboxes hold only the latest round's traffic.
+  for (auto& box : inbox_) box.clear();
+  for (const Message& m : staged_) {
+    const NodeId to = g_->edge(m.via).other(m.from);
+    inbox_[static_cast<std::size_t>(to)].push_back(m);
+  }
+  staged_.clear();
+  std::fill(slot_used_.begin(), slot_used_.end(), false);
+  ++rounds_;
+}
+
+}  // namespace umc::congest

@@ -1,0 +1,62 @@
+#pragma once
+
+// Synchronous CONGEST simulator (the model of Peleg [33], Section 1).
+//
+// Communication happens in rounds; per round each node may send one
+// O(log n)-bit message over each incident edge (one per direction). The
+// simulator enforces that budget and counts rounds — the quantity every
+// Theorem 1 experiment reports.
+//
+// Algorithms are written as explicit round loops: stage messages with
+// `send`, call `end_round` to deliver, read `inbox`.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace umc::congest {
+
+struct Message {
+  NodeId from = kNoNode;
+  EdgeId via = kNoEdge;
+  std::int64_t payload = 0;
+  /// Second word of the message (a CONGEST message is O(log n) bits; a
+  /// (part-id, value) pair still fits).
+  std::int64_t aux = 0;
+};
+
+class CongestNetwork {
+ public:
+  explicit CongestNetwork(const WeightedGraph& g);
+
+  [[nodiscard]] const WeightedGraph& graph() const { return *g_; }
+
+  /// Stage a message from `from` over edge `via` (delivered to the other
+  /// endpoint at `end_round`). At most one message per (edge, direction)
+  /// per round — a second send on the same slot violates the model.
+  void send(NodeId from, EdgeId via, std::int64_t payload, std::int64_t aux = 0);
+
+  /// Deliver staged messages and advance the round counter.
+  void end_round();
+
+  /// Messages delivered to v in the most recent round.
+  [[nodiscard]] const std::vector<Message>& inbox(NodeId v) const {
+    return inbox_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] std::int64_t rounds() const { return rounds_; }
+
+  /// Charge rounds without message traffic (e.g. silent waiting rounds of a
+  /// synchronized schedule).
+  void charge_idle(std::int64_t r) { rounds_ += r; }
+
+ private:
+  const WeightedGraph* g_;
+  std::int64_t rounds_ = 0;
+  std::vector<Message> staged_;
+  std::vector<bool> slot_used_;  // 2 slots per edge: 2*e + (from==edge.v)
+  std::vector<std::vector<Message>> inbox_;
+};
+
+}  // namespace umc::congest

@@ -1,0 +1,270 @@
+#include "congest/partwise.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/minors.hpp"
+#include "graph/properties.hpp"
+#include "tree/rooted_tree.hpp"
+#include "tree/spanning.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace umc::congest {
+
+namespace {
+
+/// Eccentricity of `root` inside the sub-network induced by one part.
+int internal_eccentricity(const WeightedGraph& g, std::span<const int> part, int pid,
+                          NodeId root) {
+  std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  int ecc = 0;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    ecc = std::max(ecc, dist[static_cast<std::size_t>(v)]);
+    for (const AdjEntry& a : g.adj(v)) {
+      if (part[static_cast<std::size_t>(a.to)] != pid) continue;
+      if (dist[static_cast<std::size_t>(a.to)] != -1) continue;
+      dist[static_cast<std::size_t>(a.to)] = dist[static_cast<std::size_t>(v)] + 1;
+      q.push(a.to);
+    }
+  }
+  return ecc;
+}
+
+}  // namespace
+
+PartwiseResult partwise_aggregate(CongestNetwork& net, std::span<const int> part,
+                                  std::span<const std::int64_t> input, PartwiseOp op) {
+  const auto identity = [op]() {
+    return op == PartwiseOp::kSum ? 0 : std::numeric_limits<std::int64_t>::max();
+  };
+  const auto fold = [op](std::int64_t a, std::int64_t b) {
+    return op == PartwiseOp::kSum ? a + b : std::min(a, b);
+  };
+  const WeightedGraph& g = net.graph();
+  const NodeId n = g.n();
+  UMC_ASSERT(static_cast<NodeId>(part.size()) == n);
+  UMC_ASSERT(static_cast<NodeId>(input.size()) == n);
+  const std::int64_t start_rounds = net.rounds();
+
+  PartwiseResult out;
+  out.value.assign(static_cast<std::size_t>(n), identity());
+
+  int k = 0;
+  for (const int p : part) k = std::max(k, p + 1);
+  out.num_parts = k;
+  if (k == 0) return out;
+
+  std::vector<std::vector<NodeId>> members(static_cast<std::size_t>(k));
+  std::vector<std::int64_t> total(static_cast<std::size_t>(k), identity());
+  for (NodeId v = 0; v < n; ++v) {
+    const int p = part[static_cast<std::size_t>(v)];
+    if (p >= 0) {
+      members[static_cast<std::size_t>(p)].push_back(v);
+      total[static_cast<std::size_t>(p)] =
+          fold(total[static_cast<std::size_t>(p)], input[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  // Small/large threshold: 2(ceil(sqrt(n))+1), matching the carve partition's
+  // size cap so canonical partitions ride the node-disjoint small-part route.
+  const NodeId threshold = 2 * (static_cast<NodeId>(isqrt(static_cast<std::uint64_t>(n))) + 1);
+
+  // ---- Small-part phase: node-disjoint internal convergecast+broadcast.
+  // Each part aggregates over its own internal BFS tree; since parts are
+  // node-disjoint the schedules coexist, so the cost is the worst part's
+  // 2*eccentricity + 2.
+  std::int64_t small_rounds = 0;
+  std::vector<int> large_index(static_cast<std::size_t>(k), -1);
+  int num_large = 0;
+  for (int p = 0; p < k; ++p) {
+    const auto& mem = members[static_cast<std::size_t>(p)];
+    if (mem.empty()) continue;
+    if (static_cast<NodeId>(mem.size()) > threshold) {
+      large_index[static_cast<std::size_t>(p)] = num_large++;
+      continue;
+    }
+    const int ecc = internal_eccentricity(g, part, p, mem.front());
+    small_rounds = std::max(small_rounds, static_cast<std::int64_t>(2 * ecc + 2));
+    for (const NodeId v : mem) out.value[static_cast<std::size_t>(v)] = total[static_cast<std::size_t>(p)];
+  }
+  net.charge_idle(small_rounds);
+  out.small_phase_rounds = small_rounds;
+  out.num_large_parts = num_large;
+
+  // ---- Large-part phase: pipelined convergecast + broadcast on the global
+  // BFS tree, one (part, value) message per edge per round, greedy schedule.
+  if (num_large > 0) {
+    const std::int64_t large_start = net.rounds();
+    const BfsTree bfs = build_bfs_tree(net, 0);
+    const std::size_t L = static_cast<std::size_t>(num_large);
+
+    // contains[v][l]: subtree(v) holds a member of large part l.
+    std::vector<std::vector<char>> contains(static_cast<std::size_t>(n),
+                                            std::vector<char>(L, 0));
+    for (int p = 0; p < k; ++p) {
+      const int l = large_index[static_cast<std::size_t>(p)];
+      if (l < 0) continue;
+      for (const NodeId u : members[static_cast<std::size_t>(p)]) {
+        for (NodeId x = u; x != kNoNode; x = bfs.parent[static_cast<std::size_t>(x)]) {
+          if (contains[static_cast<std::size_t>(x)][static_cast<std::size_t>(l)]) break;
+          contains[static_cast<std::size_t>(x)][static_cast<std::size_t>(l)] = 1;
+        }
+      }
+    }
+    std::vector<std::vector<int>> need(static_cast<std::size_t>(n), std::vector<int>(L, 0));
+    for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId c : bfs.children[static_cast<std::size_t>(v)]) {
+        for (std::size_t l = 0; l < L; ++l)
+          need[static_cast<std::size_t>(v)][l] +=
+              contains[static_cast<std::size_t>(c)][l] ? 1 : 0;
+      }
+    }
+
+    // Upward convergecast.
+    std::vector<std::vector<std::int64_t>> have(static_cast<std::size_t>(n),
+                                                std::vector<std::int64_t>(L, identity()));
+    std::vector<std::vector<int>> got(static_cast<std::size_t>(n), std::vector<int>(L, 0));
+    std::vector<std::vector<char>> sent(static_cast<std::size_t>(n), std::vector<char>(L, 0));
+    for (NodeId v = 0; v < n; ++v) {
+      const int p = part[static_cast<std::size_t>(v)];
+      if (p >= 0 && large_index[static_cast<std::size_t>(p)] >= 0) {
+        auto& slot = have[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(large_index[static_cast<std::size_t>(p)])];
+        slot = fold(slot, input[static_cast<std::size_t>(v)]);
+      }
+    }
+    int root_done = 0;
+    for (std::size_t l = 0; l < L; ++l)
+      if (got[0][l] == need[0][l]) ++root_done;  // parts entirely at the root
+    while (root_done < num_large) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == bfs.root) continue;
+        for (std::size_t l = 0; l < L; ++l) {
+          if (sent[static_cast<std::size_t>(v)][l]) continue;
+          if (!contains[static_cast<std::size_t>(v)][l]) continue;
+          if (got[static_cast<std::size_t>(v)][l] != need[static_cast<std::size_t>(v)][l])
+            continue;
+          net.send(v, bfs.parent_edge[static_cast<std::size_t>(v)],
+                   static_cast<std::int64_t>(l), have[static_cast<std::size_t>(v)][l]);
+          sent[static_cast<std::size_t>(v)][l] = 1;
+          break;  // one message up per round
+        }
+      }
+      net.end_round();
+      for (NodeId v = 0; v < n; ++v) {
+        for (const Message& m : net.inbox(v)) {
+          if (m.from == bfs.parent[static_cast<std::size_t>(v)]) continue;  // down traffic: none yet
+          const std::size_t l = static_cast<std::size_t>(m.payload);
+          have[static_cast<std::size_t>(v)][l] = fold(have[static_cast<std::size_t>(v)][l], m.aux);
+          ++got[static_cast<std::size_t>(v)][l];
+          if (v == bfs.root && got[0][l] == need[0][l]) ++root_done;
+        }
+      }
+    }
+
+    // Downward pipelined broadcast of the totals.
+    std::vector<std::int64_t> large_total(L, 0);
+    for (std::size_t l = 0; l < L; ++l) large_total[l] = have[0][l];
+    std::vector<std::vector<char>> know(static_cast<std::size_t>(n), std::vector<char>(L, 0));
+    for (std::size_t l = 0; l < L; ++l) know[0][l] = 1;
+    // forwarded[v] indexed by (child position, part).
+    std::vector<std::vector<std::vector<char>>> forwarded(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v)
+      forwarded[static_cast<std::size_t>(v)].assign(
+          bfs.children[static_cast<std::size_t>(v)].size(), std::vector<char>(L, 0));
+    std::int64_t remaining = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == bfs.root) continue;
+      for (std::size_t l = 0; l < L; ++l)
+        if (contains[static_cast<std::size_t>(v)][l]) ++remaining;
+    }
+    while (remaining > 0) {
+      for (NodeId v = 0; v < n; ++v) {
+        const auto& kids = bfs.children[static_cast<std::size_t>(v)];
+        for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+          const NodeId c = kids[ci];
+          for (std::size_t l = 0; l < L; ++l) {
+            if (!know[static_cast<std::size_t>(v)][l]) continue;
+            if (forwarded[static_cast<std::size_t>(v)][ci][l]) continue;
+            if (!contains[static_cast<std::size_t>(c)][l]) continue;
+            net.send(v, bfs.parent_edge[static_cast<std::size_t>(c)],
+                     static_cast<std::int64_t>(l), large_total[l]);
+            forwarded[static_cast<std::size_t>(v)][ci][l] = 1;
+            break;  // one message per child edge per round
+          }
+        }
+      }
+      net.end_round();
+      for (NodeId v = 0; v < n; ++v) {
+        for (const Message& m : net.inbox(v)) {
+          if (m.from != bfs.parent[static_cast<std::size_t>(v)]) continue;
+          const std::size_t l = static_cast<std::size_t>(m.payload);
+          if (!know[static_cast<std::size_t>(v)][l]) {
+            know[static_cast<std::size_t>(v)][l] = 1;
+            --remaining;
+          }
+        }
+      }
+    }
+    for (int p = 0; p < k; ++p) {
+      const int l = large_index[static_cast<std::size_t>(p)];
+      if (l < 0) continue;
+      for (const NodeId v : members[static_cast<std::size_t>(p)])
+        out.value[static_cast<std::size_t>(v)] = large_total[static_cast<std::size_t>(l)];
+    }
+    out.large_phase_rounds = net.rounds() - large_start;
+  }
+
+  out.rounds_used = net.rounds() - start_rounds;
+  return out;
+}
+
+std::vector<int> sqrt_carve_partition(const WeightedGraph& g, std::uint64_t seed) {
+  const NodeId n = g.n();
+  Rng rng(seed);
+  const auto tree_edges = wilson_random_spanning_tree(g, rng);
+  const RootedTree t(g, tree_edges, 0);
+  const NodeId target = static_cast<NodeId>(isqrt(static_cast<std::uint64_t>(n))) + 1;
+
+  std::vector<int> part(static_cast<std::size_t>(n), -1);
+  // Bottom-up carve: pending cluster per node = itself plus children's
+  // still-open clusters. Closing when the accumulated size reaches the
+  // target keeps every part connected; child clusters that would push the
+  // accumulator past 2x the target are closed on their own, capping part
+  // sizes at 2*target (so all parts stay on the small-part route).
+  std::vector<std::vector<NodeId>> pending(static_cast<std::size_t>(n));
+  int next_part = 0;
+  const auto close = [&part, &next_part](std::vector<NodeId>& cluster) {
+    for (const NodeId x : cluster) part[static_cast<std::size_t>(x)] = next_part;
+    ++next_part;
+    cluster.clear();
+  };
+  const auto order = t.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    auto& acc = pending[static_cast<std::size_t>(v)];
+    acc.push_back(v);
+    for (const NodeId c : t.children(v)) {
+      auto& pc = pending[static_cast<std::size_t>(c)];
+      if (static_cast<NodeId>(acc.size() + pc.size()) > 2 * target) {
+        close(pc);  // connected on its own (contains c)
+      } else {
+        acc.insert(acc.end(), pc.begin(), pc.end());
+        pc.clear();
+      }
+      pc.shrink_to_fit();
+    }
+    if (static_cast<NodeId>(acc.size()) >= target || v == t.root()) close(acc);
+  }
+  return part;
+}
+
+}  // namespace umc::congest

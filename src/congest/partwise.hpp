@@ -1,0 +1,50 @@
+#pragma once
+
+// Part-wise aggregation in CONGEST — the engine behind the Theorem 17
+// compilation of Minor-Aggregation rounds.
+//
+// Problem (Theorem 17 proof): given disjoint *connected* parts P_1..P_k and
+// a private value per node, every node of P_i must learn the aggregate over
+// P_i. The classic O(D + √n)-quality solution [11, 19] is implemented and
+// *measured*:
+//   * parts with <= √n nodes aggregate inside their own subtrees — all in
+//     parallel (node-disjoint), cost = max internal eccentricity <= √n;
+//   * larger parts (at most √n of them) pipeline over the global BFS tree —
+//     a greedy convergecast + broadcast schedule moving one (part, value)
+//     pair per edge per round, cost <= O(D + #large parts), measured.
+
+#include <span>
+#include <vector>
+
+#include "congest/bfs_tree.hpp"
+#include "congest/congest_net.hpp"
+
+namespace umc::congest {
+
+/// Fold operator for part-wise aggregation. Values are one CONGEST word;
+/// min-folds can carry packed (key, tag) pairs.
+enum class PartwiseOp { kSum, kMin };
+
+struct PartwiseResult {
+  /// Per node: the fold over its part (identity for nodes outside every
+  /// part: 0 for sum, INT64_MAX for min).
+  std::vector<std::int64_t> value;
+  std::int64_t rounds_used = 0;
+  std::int64_t small_phase_rounds = 0;
+  std::int64_t large_phase_rounds = 0;
+  int num_parts = 0;
+  int num_large_parts = 0;
+};
+
+/// part[v] = part id (>= 0) or -1 for "no part". Parts must induce
+/// connected subgraphs.
+[[nodiscard]] PartwiseResult partwise_aggregate(CongestNetwork& net, std::span<const int> part,
+                                                std::span<const std::int64_t> input,
+                                                PartwiseOp op = PartwiseOp::kSum);
+
+/// Canonical "hard" partition used by the compile-cost experiments: carve a
+/// random spanning tree into connected parts of ~⌈√n⌉ nodes. Returns part
+/// ids per node.
+[[nodiscard]] std::vector<int> sqrt_carve_partition(const WeightedGraph& g, std::uint64_t seed);
+
+}  // namespace umc::congest

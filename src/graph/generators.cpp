@@ -1,0 +1,243 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "graph/dsu.hpp"
+
+namespace umc {
+
+WeightedGraph path_graph(NodeId n) {
+  WeightedGraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+WeightedGraph cycle_graph(NodeId n) {
+  UMC_ASSERT(n >= 3);
+  WeightedGraph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+WeightedGraph star_graph(NodeId n) {
+  UMC_ASSERT(n >= 1);
+  WeightedGraph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+WeightedGraph complete_graph(NodeId n) {
+  WeightedGraph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+WeightedGraph grid_graph(NodeId rows, NodeId cols) {
+  UMC_ASSERT(rows >= 1 && cols >= 1);
+  WeightedGraph g(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+WeightedGraph random_planar_grid(NodeId rows, NodeId cols, double diag_prob, Rng& rng) {
+  WeightedGraph g = grid_graph(rows, cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r + 1 < rows; ++r) {
+    for (NodeId c = 0; c + 1 < cols; ++c) {
+      if (!rng.next_bool(diag_prob)) continue;
+      // One diagonal per face keeps the embedding planar.
+      if (rng.next_bool(0.5)) {
+        g.add_edge(id(r, c), id(r + 1, c + 1));
+      } else {
+        g.add_edge(id(r, c + 1), id(r + 1, c));
+      }
+    }
+  }
+  return g;
+}
+
+WeightedGraph erdos_renyi(NodeId n, double p, Rng& rng) {
+  WeightedGraph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.next_bool(p)) g.add_edge(u, v);
+  return g;
+}
+
+WeightedGraph erdos_renyi_connected(NodeId n, double p, Rng& rng) {
+  UMC_ASSERT(n >= 1);
+  WeightedGraph g = erdos_renyi(n, p, rng);
+  // Overlay a uniform random spanning tree over components.
+  Dsu dsu(n);
+  for (const Edge& e : g.edges()) dsu.unite(e.u, e.v);
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const NodeId u = order[i - 1];
+    const NodeId v = order[i];
+    if (!dsu.same(u, v)) {
+      dsu.unite(u, v);
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+WeightedGraph random_tree(NodeId n, Rng& rng) {
+  UMC_ASSERT(n >= 1);
+  WeightedGraph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    g.add_edge(parent, v);
+  }
+  return g;
+}
+
+WeightedGraph random_connected(NodeId n, EdgeId m, Rng& rng) {
+  UMC_ASSERT(m >= n - 1);
+  WeightedGraph g = random_tree(n, rng);
+  std::set<std::pair<NodeId, NodeId>> present;
+  for (const Edge& e : g.edges()) present.emplace(std::min(e.u, e.v), std::max(e.u, e.v));
+  const std::int64_t simple_bound = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  EdgeId added = g.m();
+  while (added < m) {
+    NodeId u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (static_cast<std::int64_t>(present.size()) < simple_bound && present.count({u, v}) != 0)
+      continue;  // avoid parallel edges while simple edges remain available
+    present.emplace(u, v);
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+WeightedGraph dumbbell(NodeId clique, NodeId bridge) {
+  UMC_ASSERT(clique >= 2 && bridge >= 1);
+  // Nodes: [0, clique) left clique, [clique, clique+bridge) path,
+  // [clique+bridge, 2*clique+bridge) right clique.
+  const NodeId n = 2 * clique + bridge;
+  WeightedGraph g(n);
+  const auto add_clique = [&g](NodeId base, NodeId size) {
+    for (NodeId i = 0; i < size; ++i)
+      for (NodeId j = i + 1; j < size; ++j) g.add_edge(base + i, base + j);
+  };
+  add_clique(0, clique);
+  add_clique(clique + bridge, clique);
+  g.add_edge(clique - 1, clique);
+  for (NodeId i = 0; i + 1 < bridge; ++i) g.add_edge(clique + i, clique + i + 1);
+  g.add_edge(clique + bridge - 1, clique + bridge);
+  return g;
+}
+
+WeightedGraph ktree(NodeId n, int k, Rng& rng) {
+  UMC_ASSERT(k >= 1 && n >= k + 1);
+  WeightedGraph g(n);
+  // Start from a (k+1)-clique; store cliques as node lists.
+  std::vector<std::vector<NodeId>> cliques;
+  std::vector<NodeId> base;
+  for (NodeId v = 0; v <= k; ++v) base.push_back(v);
+  for (std::size_t i = 0; i < base.size(); ++i)
+    for (std::size_t j = i + 1; j < base.size(); ++j) g.add_edge(base[i], base[j]);
+  cliques.push_back(base);
+  for (NodeId v = static_cast<NodeId>(k + 1); v < n; ++v) {
+    const auto& clique =
+        cliques[static_cast<std::size_t>(rng.next_below(cliques.size()))];
+    // Pick k of the k+1 clique nodes to attach to.
+    std::vector<NodeId> attach = clique;
+    attach.erase(attach.begin() + static_cast<std::ptrdiff_t>(rng.next_below(attach.size())));
+    for (const NodeId u : attach) g.add_edge(u, v);
+    attach.push_back(v);
+    cliques.push_back(std::move(attach));
+  }
+  return g;
+}
+
+WeightedGraph double_broom(NodeId len, EdgeId chords, Rng& rng) {
+  UMC_ASSERT(len >= 1);
+  // Node 0 is the root; P = [1, len], Q = [len+1, 2*len].
+  WeightedGraph g(2 * len + 1);
+  g.add_edge(0, 1);
+  for (NodeId i = 1; i < len; ++i) g.add_edge(i, i + 1);
+  g.add_edge(0, len + 1);
+  for (NodeId i = len + 1; i < 2 * len; ++i) g.add_edge(i, i + 1);
+  for (EdgeId c = 0; c < chords; ++c) {
+    const NodeId u = 1 + static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(len)));
+    const NodeId v =
+        len + 1 + static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(len)));
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+WeightedGraph spider(int k, NodeId len, EdgeId chords, Rng& rng) {
+  UMC_ASSERT(k >= 2 && len >= 1);
+  // Node 0 is the root; path i occupies [1 + i*len, 1 + (i+1)*len).
+  WeightedGraph g(1 + static_cast<NodeId>(k) * len);
+  for (int i = 0; i < k; ++i) {
+    const NodeId base = 1 + static_cast<NodeId>(i) * len;
+    g.add_edge(0, base);
+    for (NodeId j = 0; j + 1 < len; ++j) g.add_edge(base + j, base + j + 1);
+  }
+  for (EdgeId c = 0; c < chords; ++c) {
+    const int pi = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(k)));
+    const int pj = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(k)));
+    if (pi == pj) continue;
+    const NodeId u = 1 + static_cast<NodeId>(pi) * len +
+                     static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(len)));
+    const NodeId v = 1 + static_cast<NodeId>(pj) * len +
+                     static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(len)));
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+WeightedGraph complete_bipartite(NodeId a, NodeId b) {
+  UMC_ASSERT(a >= 1 && b >= 1);
+  WeightedGraph g(a + b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+WeightedGraph binary_tree(NodeId n) {
+  UMC_ASSERT(n >= 1);
+  WeightedGraph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge((v - 1) / 2, v);
+  return g;
+}
+
+WeightedGraph ring_expander(NodeId n, int matchings, Rng& rng) {
+  UMC_ASSERT(n >= 4 && n % 2 == 0 && matchings >= 1);
+  WeightedGraph g = cycle_graph(n);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  for (int m = 0; m < matchings; ++m) {
+    rng.shuffle(perm);
+    for (NodeId i = 0; i < n; i += 2) {
+      const NodeId u = perm[static_cast<std::size_t>(i)];
+      const NodeId v = perm[static_cast<std::size_t>(i) + 1];
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+void randomize_weights(WeightedGraph& g, Weight lo, Weight hi, Rng& rng) {
+  UMC_ASSERT(1 <= lo && lo <= hi);
+  for (EdgeId e = 0; e < g.m(); ++e) g.set_weight(e, rng.next_in(lo, hi));
+}
+
+}  // namespace umc

@@ -1,0 +1,72 @@
+#pragma once
+
+// Graph-family generators for tests, examples, and experiments.
+//
+// Families mirror the paper's claims: excluded-minor graphs (grids, random
+// planar, k-trees) exercise the Õ(D) compile target; Erdős–Rényi and
+// dumbbells exercise the general Õ(D+√n) target and worst cases; brooms and
+// spiders generate the instance shapes of Figures 1–3 directly.
+//
+// All generators produce unit weights; use `randomize_weights` to draw
+// weights in [lo, hi] (the paper assumes w(e) ∈ [poly(n)]).
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+
+[[nodiscard]] WeightedGraph path_graph(NodeId n);
+[[nodiscard]] WeightedGraph cycle_graph(NodeId n);
+[[nodiscard]] WeightedGraph star_graph(NodeId n);  // node 0 is the hub
+[[nodiscard]] WeightedGraph complete_graph(NodeId n);
+
+/// rows x cols planar grid; node (r, c) has id r*cols + c.
+[[nodiscard]] WeightedGraph grid_graph(NodeId rows, NodeId cols);
+
+/// Grid plus one random diagonal per unit face (still planar).
+[[nodiscard]] WeightedGraph random_planar_grid(NodeId rows, NodeId cols, double diag_prob, Rng& rng);
+
+/// G(n, p); NOT guaranteed connected — see erdos_renyi_connected.
+[[nodiscard]] WeightedGraph erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// G(n, p) conditioned on connectivity by overlaying a uniform random
+/// spanning tree (preserves the family's diameter/expansion behaviour above
+/// the connectivity threshold while guaranteeing a valid CONGEST network).
+[[nodiscard]] WeightedGraph erdos_renyi_connected(NodeId n, double p, Rng& rng);
+
+/// Uniform random labeled tree (Prüfer-like random attachment).
+[[nodiscard]] WeightedGraph random_tree(NodeId n, Rng& rng);
+
+/// Random connected graph with exactly m >= n-1 edges (tree + random chords,
+/// no parallel edges for m below the simple-graph bound).
+[[nodiscard]] WeightedGraph random_connected(NodeId n, EdgeId m, Rng& rng);
+
+/// Two k-cliques joined by a length-`bridge` path: small cut, large n.
+[[nodiscard]] WeightedGraph dumbbell(NodeId clique, NodeId bridge);
+
+/// k-tree on n nodes (treewidth exactly k for n > k): excluded-minor family.
+[[nodiscard]] WeightedGraph ktree(NodeId n, int k, Rng& rng);
+
+/// Two descending paths of length `len` joined at a root (Figure 1 shape),
+/// with `chords` random cross-path chords.
+[[nodiscard]] WeightedGraph double_broom(NodeId len, EdgeId chords, Rng& rng);
+
+/// k descending paths of length `len` joined at a root (Figure 2 shape),
+/// with `chords` random cross-path chords.
+[[nodiscard]] WeightedGraph spider(int k, NodeId len, EdgeId chords, Rng& rng);
+
+/// Complete bipartite graph K_{a,b}: left nodes [0,a), right [a, a+b).
+[[nodiscard]] WeightedGraph complete_bipartite(NodeId a, NodeId b);
+
+/// Complete binary tree with n nodes (node v's parent is (v-1)/2).
+[[nodiscard]] WeightedGraph binary_tree(NodeId n);
+
+/// Expander-ish: a ring plus `matchings` random perfect matchings — small
+/// diameter and good expansion whp, the well-connected family of Theorem 1
+/// bullet 3 (mixing time polylog).
+[[nodiscard]] WeightedGraph ring_expander(NodeId n, int matchings, Rng& rng);
+
+/// Assign independent uniform weights in [lo, hi] to every edge.
+void randomize_weights(WeightedGraph& g, Weight lo, Weight hi, Rng& rng);
+
+}  // namespace umc

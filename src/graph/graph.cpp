@@ -1,0 +1,40 @@
+#include "graph/graph.hpp"
+
+namespace umc {
+
+NodeId WeightedGraph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+EdgeId WeightedGraph::add_edge(NodeId u, NodeId v, Weight w) {
+  UMC_ASSERT(u >= 0 && u < n());
+  UMC_ASSERT(v >= 0 && v < n());
+  UMC_ASSERT_MSG(u != v, "self-loops are not representable");
+  UMC_ASSERT_MSG(w > 0, "edge weights must be positive");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  adj_[static_cast<std::size_t>(u)].push_back(AdjEntry{v, id});
+  adj_[static_cast<std::size_t>(v)].push_back(AdjEntry{u, id});
+  return id;
+}
+
+Weight WeightedGraph::weighted_degree(NodeId v) const {
+  Weight total = 0;
+  for (const AdjEntry& a : adj(v)) total += edge(a.edge).w;
+  return total;
+}
+
+Weight WeightedGraph::total_weight() const {
+  Weight total = 0;
+  for (const Edge& e : edges_) total += e.w;
+  return total;
+}
+
+void WeightedGraph::set_weight(EdgeId e, Weight w) {
+  UMC_ASSERT(e >= 0 && e < m());
+  UMC_ASSERT_MSG(w > 0, "edge weights must be positive");
+  edges_[static_cast<std::size_t>(e)].w = w;
+}
+
+}  // namespace umc

@@ -1,0 +1,92 @@
+#pragma once
+
+// Weighted undirected multigraph — the communication-network substrate that
+// every simulator and algorithm in this library operates on.
+//
+// Vertices are dense ids 0..n-1. Parallel edges and explicit weights are
+// first-class (the paper treats weighted graphs with w(e) in [poly(n)], and
+// tree packing replaces weights by multiplicities). Self-loops are rejected:
+// they never affect cuts and the Minor-Aggregation model removes them on
+// contraction.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace umc {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Weight = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// A weighted undirected edge. `u < v` is NOT required; id is its index.
+struct Edge {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Weight w = 1;
+
+  /// The endpoint that is not `x`. Requires x ∈ {u, v}.
+  [[nodiscard]] NodeId other(NodeId x) const {
+    UMC_ASSERT(x == u || x == v);
+    return x == u ? v : u;
+  }
+};
+
+/// Entry of an adjacency list: neighbor and the id of the connecting edge.
+struct AdjEntry {
+  NodeId to = kNoNode;
+  EdgeId edge = kNoEdge;
+};
+
+/// Weighted undirected multigraph with O(1) edge lookup by id.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+  explicit WeightedGraph(NodeId n) : adj_(static_cast<std::size_t>(n)) { UMC_ASSERT(n >= 0); }
+
+  [[nodiscard]] NodeId n() const { return static_cast<NodeId>(adj_.size()); }
+  [[nodiscard]] EdgeId m() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Appends an isolated vertex; returns its id.
+  NodeId add_node();
+
+  /// Appends edge {u, v} with weight w; returns its id. Rejects self-loops
+  /// and non-positive weights (zero-weight edges never affect min-cuts and
+  /// would break strict-inequality arguments like Fact 6).
+  EdgeId add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    UMC_ASSERT(e >= 0 && e < m());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  [[nodiscard]] std::span<const AdjEntry> adj(NodeId v) const {
+    UMC_ASSERT(v >= 0 && v < n());
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] int degree(NodeId v) const {
+    return static_cast<int>(adj(v).size());
+  }
+
+  /// Sum of weights of edges incident to v (parallel edges counted).
+  [[nodiscard]] Weight weighted_degree(NodeId v) const;
+
+  /// Sum of all edge weights.
+  [[nodiscard]] Weight total_weight() const;
+
+  /// Re-weights an existing edge. New weight must be positive.
+  void set_weight(EdgeId e, Weight w);
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<AdjEntry>> adj_;
+};
+
+}  // namespace umc

@@ -1,0 +1,60 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace umc {
+
+WeightedGraph read_edge_list(std::istream& in) {
+  std::string line;
+  bool have_n = false;
+  WeightedGraph g;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    if (!have_n) {
+      long long n = 0;
+      if (!(ls >> n)) continue;  // blank/comment line before the header
+      UMC_ASSERT_MSG(n >= 0 && n <= (1LL << 30), "node count out of range");
+      g = WeightedGraph(static_cast<NodeId>(n));
+      have_n = true;
+    } else {
+      long long u = 0, v = 0, w = 1;
+      if (!(ls >> u)) continue;
+      UMC_ASSERT_MSG(static_cast<bool>(ls >> v), "edge line needs two endpoints");
+      if (!(ls >> w)) w = 1;  // weight optional, defaults to 1
+      UMC_ASSERT_MSG(0 <= u && u < g.n() && 0 <= v && v < g.n(), "endpoint out of range");
+      g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    }
+    std::string junk;
+    UMC_ASSERT_MSG(!(ls >> junk), "trailing junk on line " + std::to_string(lineno));
+  }
+  UMC_ASSERT_MSG(have_n, "missing node-count header");
+  return g;
+}
+
+WeightedGraph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  UMC_ASSERT_MSG(in.good(), "cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const WeightedGraph& g) {
+  out << "# unimincut edge list: n, then one 'u v w' per edge\n";
+  out << g.n() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+}
+
+void write_edge_list_file(const std::string& path, const WeightedGraph& g) {
+  std::ofstream out(path);
+  UMC_ASSERT_MSG(out.good(), "cannot open " + path + " for writing");
+  write_edge_list(out, g);
+}
+
+}  // namespace umc

@@ -1,0 +1,28 @@
+#pragma once
+
+// Plain-text graph serialization: the ubiquitous weighted edge-list format
+//
+//   # comments and blank lines ignored
+//   <n>
+//   <u> <v> <w>
+//   ...
+//
+// so real topologies can be fed to the examples/CLI and experiment outputs
+// can be archived.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace umc {
+
+/// Parses the edge-list format; throws invariant_error on malformed input
+/// (bad node ids, non-positive weights, trailing junk).
+[[nodiscard]] WeightedGraph read_edge_list(std::istream& in);
+[[nodiscard]] WeightedGraph read_edge_list_file(const std::string& path);
+
+void write_edge_list(std::ostream& out, const WeightedGraph& g);
+void write_edge_list_file(const std::string& path, const WeightedGraph& g);
+
+}  // namespace umc

@@ -1,0 +1,35 @@
+#pragma once
+
+// Minor operations: edge contraction and induced subgraphs, with mappings
+// back to the source graph.
+//
+// The Minor-Aggregation model's contraction step (Definition 9) and the
+// instance transformations of Sections 6–9 (e.g. contracting tree edges of
+// the wrong HL-depth, Figure 4) are all built on these.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace umc {
+
+/// A graph derived from another, with provenance mappings.
+struct DerivedGraph {
+  WeightedGraph graph;
+  /// node_map[v_orig] = node in `graph`, or kNoNode if v_orig was dropped.
+  std::vector<NodeId> node_map;
+  /// edge_origin[e_new] = source edge id in the original graph.
+  std::vector<EdgeId> edge_origin;
+};
+
+/// Contracts every edge e with contract[e] == true. Self-loops are removed;
+/// parallel edges are kept (cuts need their individual weights). Supernode
+/// ids are assigned by smallest contained original node id order.
+[[nodiscard]] DerivedGraph contract_edges(const WeightedGraph& g,
+                                          const std::vector<bool>& contract);
+
+/// Induced subgraph on {v : keep[v]}. Edges with a dropped endpoint vanish.
+[[nodiscard]] DerivedGraph induced_subgraph(const WeightedGraph& g,
+                                            const std::vector<bool>& keep);
+
+}  // namespace umc

@@ -1,0 +1,93 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace umc {
+
+std::vector<int> bfs_distances(const WeightedGraph& g, NodeId src) {
+  UMC_ASSERT(src >= 0 && src < g.n());
+  std::vector<int> dist(static_cast<std::size_t>(g.n()), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const AdjEntry& a : g.adj(v)) {
+      if (dist[static_cast<std::size_t>(a.to)] == kUnreachable) {
+        dist[static_cast<std::size_t>(a.to)] = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const WeightedGraph& g) {
+  if (g.n() <= 1) return true;
+  const std::vector<int> dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d == kUnreachable; });
+}
+
+int num_components(const WeightedGraph& g) {
+  const std::vector<int> ids = component_ids(g);
+  return ids.empty() ? 0 : 1 + *std::max_element(ids.begin(), ids.end());
+}
+
+std::vector<int> component_ids(const WeightedGraph& g) {
+  std::vector<int> id(static_cast<std::size_t>(g.n()), -1);
+  int next = 0;
+  for (NodeId s = 0; s < g.n(); ++s) {
+    if (id[static_cast<std::size_t>(s)] != -1) continue;
+    id[static_cast<std::size_t>(s)] = next;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const AdjEntry& a : g.adj(v)) {
+        if (id[static_cast<std::size_t>(a.to)] == -1) {
+          id[static_cast<std::size_t>(a.to)] = next;
+          q.push(a.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return id;
+}
+
+namespace {
+/// Farthest node from src and its distance.
+std::pair<NodeId, int> farthest(const WeightedGraph& g, NodeId src) {
+  const std::vector<int> dist = bfs_distances(g, src);
+  NodeId best = src;
+  int best_d = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const int d = dist[static_cast<std::size_t>(v)];
+    UMC_ASSERT_MSG(d != kUnreachable, "diameter requires a connected graph");
+    if (d > best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return {best, best_d};
+}
+}  // namespace
+
+int exact_diameter(const WeightedGraph& g) {
+  UMC_ASSERT(g.n() >= 1);
+  int diam = 0;
+  for (NodeId v = 0; v < g.n(); ++v) diam = std::max(diam, farthest(g, v).second);
+  return diam;
+}
+
+int approx_diameter(const WeightedGraph& g) {
+  UMC_ASSERT(g.n() >= 1);
+  const auto [far, d1] = farthest(g, 0);
+  (void)d1;
+  return farthest(g, far).second;
+}
+
+}  // namespace umc

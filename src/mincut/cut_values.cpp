@@ -1,0 +1,53 @@
+#include "mincut/cut_values.hpp"
+
+namespace umc::mincut {
+
+std::vector<Weight> reference_cov1(const RootedTree& t) {
+  const WeightedGraph& g = t.host();
+  const LcaOracle lca(t);
+  // Difference trick: +w at both endpoints, -2w at the LCA; subtree-sum.
+  std::vector<Weight> acc(static_cast<std::size_t>(g.n()), 0);
+  for (const Edge& e : g.edges()) {
+    acc[static_cast<std::size_t>(e.u)] += e.w;
+    acc[static_cast<std::size_t>(e.v)] += e.w;
+    acc[static_cast<std::size_t>(lca.lca(e.u, e.v))] -= 2 * e.w;
+  }
+  const auto order = t.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (t.parent(*it) != kNoNode)
+      acc[static_cast<std::size_t>(t.parent(*it))] += acc[static_cast<std::size_t>(*it)];
+  }
+  std::vector<Weight> cov(static_cast<std::size_t>(g.m()), 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const EdgeId pe = t.parent_edge(v);
+    if (pe != kNoEdge) cov[static_cast<std::size_t>(pe)] = acc[static_cast<std::size_t>(v)];
+  }
+  return cov;
+}
+
+bool edge_covers(const RootedTree& t, EdgeId ge, EdgeId te) {
+  // te = {parent(x), x} lies on the u..v tree path iff exactly one of u, v
+  // is a descendant of x.
+  const NodeId x = t.bottom(te);
+  const Edge& e = t.host().edge(ge);
+  return t.is_ancestor(x, e.u) != t.is_ancestor(x, e.v);
+}
+
+Weight reference_cov_pair(const RootedTree& t, EdgeId e, EdgeId f) {
+  Weight total = 0;
+  for (EdgeId ge = 0; ge < t.host().m(); ++ge) {
+    if (edge_covers(t, ge, e) && edge_covers(t, ge, f)) total += t.host().edge(ge).w;
+  }
+  return total;
+}
+
+Weight reference_cut_pair(const RootedTree& t, EdgeId e, EdgeId f) {
+  Weight total = 0;
+  for (EdgeId ge = 0; ge < t.host().m(); ++ge) {
+    if (edge_covers(t, ge, e) != edge_covers(t, ge, f)) total += t.host().edge(ge).w;
+  }
+  if (e == f) return reference_cov_pair(t, e, e);  // Cut(e) = Cov(e), Fact 5
+  return total;
+}
+
+}  // namespace umc::mincut

@@ -1,0 +1,31 @@
+#pragma once
+
+// Centralized reference implementation of the cut/cover machinery of
+// Section 3.2 (Facts 5 & 6). These are the correctness oracles that the
+// distributed algorithms are tested against; they are also used by the
+// naive baseline.
+
+#include <vector>
+
+#include "mincut/instance.hpp"
+#include "tree/lca.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace umc::mincut {
+
+/// Cov(e) = Cut(e) for every tree edge (Fact 5), indexed by host edge id
+/// (non-tree slots hold 0). O(m + n).
+[[nodiscard]] std::vector<Weight> reference_cov1(const RootedTree& t);
+
+/// Cut_{T,G}(e, f) for one pair of tree edges, by direct path inspection.
+/// O(m * depth). e == f gives the 1-respecting Cut(e).
+[[nodiscard]] Weight reference_cut_pair(const RootedTree& t, EdgeId e, EdgeId f);
+
+/// Cov_{T,G}(e, f) for one pair of tree edges. O(m * depth).
+[[nodiscard]] Weight reference_cov_pair(const RootedTree& t, EdgeId e, EdgeId f);
+
+/// True iff the graph edge ge covers the tree edge te (te lies on the tree
+/// path between ge's endpoints).
+[[nodiscard]] bool edge_covers(const RootedTree& t, EdgeId ge, EdgeId te);
+
+}  // namespace umc::mincut

@@ -1,0 +1,41 @@
+#include "mincut/exact_mincut.hpp"
+
+#include "mincut/two_respect.hpp"
+#include "minoragg/tree_primitives.hpp"
+
+namespace umc::mincut {
+
+ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                               const PackingConfig& config) {
+  UMC_ASSERT(g.n() >= 2);
+  ExactMinCutResult out;
+
+  if (g.n() == 2) {
+    // Single possible cut; one aggregation round reads it off.
+    ledger.charge(1);
+    out.value = g.total_weight();
+    out.num_trees = 0;
+    return out;
+  }
+
+  const TreePacking packing = tree_packing(g, rng, ledger, config);
+  out.num_trees = static_cast<int>(packing.trees.size());
+
+  // Every min-cut 2-respects some tree of the packing (whp); orient each
+  // (unrooted) packing tree (Theorem 48), then solve the deterministic
+  // 2-respecting problem and keep the best.
+  for (std::size_t i = 0; i < packing.trees.size(); ++i) {
+    (void)minoragg::orient_tree(g, packing.trees[i], /*root=*/0, ledger);
+    const CutResult r = two_respecting_mincut(g, packing.trees[i], /*root=*/0, ledger);
+    if (r.value < out.value) {
+      out.value = r.value;
+      out.e = r.e;
+      out.f = r.f;
+      out.winning_tree = static_cast<int>(i);
+    }
+  }
+  UMC_ASSERT_MSG(out.value < kInfWeight, "a packing always yields at least one cut");
+  return out;
+}
+
+}  // namespace umc::mincut

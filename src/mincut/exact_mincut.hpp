@@ -1,0 +1,34 @@
+#pragma once
+
+// Exact weighted min-cut (Theorem 1): tree packing (Theorem 12) x the
+// deterministic 2-respecting min-cut (Theorem 40). A poly(log n)-round
+// Minor-Aggregation algorithm, compiled to CONGEST via Theorem 17:
+// Õ(D+√n) rounds on general graphs (recovering Dory et al. [7]) and Õ(D)
+// on excluded-minor graphs — universally optimal modulo shortcut
+// construction.
+
+#include "mincut/instance.hpp"
+#include "mincut/tree_packing.hpp"
+#include "minoragg/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace umc::mincut {
+
+struct ExactMinCutResult {
+  Weight value = kInfWeight;
+  /// Defining tree edge(s) of the winning 2-respecting cut, as edge ids of
+  /// the input graph (f == kNoEdge for a 1-respecting winner).
+  EdgeId e = kNoEdge;
+  EdgeId f = kNoEdge;
+  /// Index of the packing tree the winner 2-respects.
+  int winning_tree = -1;
+  int num_trees = 0;
+};
+
+/// Requires a connected graph with n >= 2. Randomness is used only by the
+/// tree packing; the 2-respecting solver is deterministic.
+[[nodiscard]] ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng,
+                                             minoragg::Ledger& ledger,
+                                             const PackingConfig& config = {});
+
+}  // namespace umc::mincut

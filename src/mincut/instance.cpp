@@ -1,0 +1,36 @@
+#include "mincut/instance.hpp"
+
+namespace umc::mincut {
+
+Instance make_root_instance(const WeightedGraph& g, std::span<const EdgeId> tree_edges,
+                            NodeId root) {
+  Instance inst;
+  inst.graph = g;
+  inst.is_virtual.assign(static_cast<std::size_t>(g.n()), false);
+  inst.tree_edges.assign(tree_edges.begin(), tree_edges.end());
+  inst.root = root;
+  inst.origin.assign(static_cast<std::size_t>(g.m()), kNoEdge);
+  for (const EdgeId e : tree_edges) inst.origin[static_cast<std::size_t>(e)] = e;
+  return inst;
+}
+
+RemappedGraph remap_graph(const WeightedGraph& src, std::span<const EdgeId> src_origin,
+                          std::span<const NodeId> node_map, NodeId new_n) {
+  UMC_ASSERT(static_cast<NodeId>(node_map.size()) == src.n());
+  UMC_ASSERT(static_cast<EdgeId>(src_origin.size()) == src.m());
+  RemappedGraph out;
+  out.graph = WeightedGraph(new_n);
+  out.edge_map.assign(static_cast<std::size_t>(src.m()), kNoEdge);
+  for (EdgeId e = 0; e < src.m(); ++e) {
+    const Edge& ed = src.edge(e);
+    const NodeId u = node_map[static_cast<std::size_t>(ed.u)];
+    const NodeId v = node_map[static_cast<std::size_t>(ed.v)];
+    UMC_ASSERT(u >= 0 && u < new_n && v >= 0 && v < new_n);
+    if (u == v) continue;  // region-internal edge: self-loop, dropped
+    out.edge_map[static_cast<std::size_t>(e)] = out.graph.add_edge(u, v, ed.w);
+    out.origin.push_back(src_origin[static_cast<std::size_t>(e)]);
+  }
+  return out;
+}
+
+}  // namespace umc::mincut

@@ -1,0 +1,53 @@
+#pragma once
+
+// Star instances and path-interest machinery (Section 7.1-7.2).
+//
+// A star instance (Definition 26, Figure 2) is a root plus k disjoint
+// descending paths. The interest machinery locates, for each path, the
+// O(log n) other paths that can share an optimal 2-respecting pair with it
+// (Lemmas 28 & 30), using deterministic heavy-hitter sketches folded along
+// each path (Lemma 32) — cross-edges only, so no sketch deletions are ever
+// needed.
+
+#include <vector>
+
+#include "mincut/instance.hpp"
+#include "minoragg/ledger.hpp"
+
+namespace umc::mincut {
+
+struct StarInstance {
+  WeightedGraph graph;
+  std::vector<bool> is_virtual;  // per node
+  std::vector<EdgeId> origin;    // per edge; kNoEdge = not a candidate
+  NodeId root = 0;
+  /// path_nodes[i] lists path i top (child of root) → bottom;
+  /// path_edges[i][j] connects (j == 0 ? root : path_nodes[i][j-1]) to
+  /// path_nodes[i][j].
+  std::vector<std::vector<NodeId>> path_nodes;
+  std::vector<std::vector<EdgeId>> path_edges;
+
+  [[nodiscard]] int k() const { return static_cast<int>(path_nodes.size()); }
+  [[nodiscard]] int beta() const {
+    int b = 0;
+    for (const bool f : is_virtual) b += f ? 1 : 0;
+    return b;
+  }
+};
+
+/// Which path each node belongs to (-1 for the root); bookkeeping.
+[[nodiscard]] std::vector<int> path_of_node(const StarInstance& inst);
+
+/// Lemma 32: per path, the ids of paths it is interested in — contains
+/// every strongly (1/2-) interested path, only weakly (1/5-) interested
+/// ones. Built from Misra-Gries sketches (Example 8) suffix-folded along
+/// each path (all paths in parallel), plus one union round.
+[[nodiscard]] std::vector<std::vector<int>> interest_lists(const StarInstance& inst,
+                                                           minoragg::Ledger& ledger);
+
+/// Definition 33: the mutual-interest graph over path indices, as sorted
+/// adjacency lists.
+[[nodiscard]] std::vector<std::vector<int>> interest_graph(
+    const std::vector<std::vector<int>>& lists);
+
+}  // namespace umc::mincut

@@ -1,0 +1,38 @@
+#pragma once
+
+// 1-respecting min-cut (Section 5, Theorem 18).
+//
+// Given an instance (graph + rooted spanning tree), computes Cut(e) for
+// EVERY tree edge in Õ(1) Minor-Aggregation rounds:
+//   1. one aggregation round accumulates A(v) = weighted degree;
+//   2. every graph edge locally derives its endpoints' LCA from HL-info
+//      (Fact 4); ancestor-descendant edges deliver their -2w correction to
+//      the LCA in one aggregation round, all others route it through a
+//      subtree sum with a bounded associative-map aggregator;
+//   3. one subtree sum over A yields Cut(parent_edge(x)) at every x.
+
+#include <vector>
+
+#include "mincut/instance.hpp"
+#include "minoragg/ledger.hpp"
+#include "tree/hld.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace umc::mincut {
+
+struct OneRespectResult {
+  /// Cut_{T,G}(e) per host edge id (0 for non-tree edges).
+  std::vector<Weight> cut;
+  /// Minimum over candidate tree edges (those with origin != kNoEdge),
+  /// reported with the ORIGINAL tree edge id.
+  CutResult best;
+};
+
+/// `origin[e]` (per host edge) marks candidates and names them in `best`;
+/// the host graph is `t.host()`.
+[[nodiscard]] OneRespectResult one_respecting_cuts(const RootedTree& t,
+                                                   std::span<const EdgeId> origin,
+                                                   const HeavyLightDecomposition& hld,
+                                                   minoragg::Ledger& ledger);
+
+}  // namespace umc::mincut

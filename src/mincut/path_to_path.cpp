@@ -1,0 +1,336 @@
+#include "mincut/path_to_path.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "mincut/one_respect.hpp"
+#include "minoragg/path_sums.hpp"
+#include "minoragg/tree_primitives.hpp"
+#include "minoragg/virtual_graph.hpp"
+
+namespace umc::mincut {
+
+namespace {
+
+enum class Side : char { kRoot, kP, kQ };
+
+/// Per-node location within the instance: which path, and the index on it.
+struct Layout {
+  std::vector<Side> side;
+  std::vector<int> pos;  // index in nodesP / nodesQ; -1 for the root
+};
+
+Layout classify(const PathInstance& inst) {
+  Layout lay;
+  lay.side.assign(static_cast<std::size_t>(inst.graph.n()), Side::kRoot);
+  lay.pos.assign(static_cast<std::size_t>(inst.graph.n()), -1);
+  UMC_ASSERT_MSG(static_cast<NodeId>(inst.nodesP.size() + inst.nodesQ.size()) + 1 ==
+                     inst.graph.n(),
+                 "a path instance contains only root + P + Q nodes");
+  for (std::size_t i = 0; i < inst.nodesP.size(); ++i) {
+    lay.side[static_cast<std::size_t>(inst.nodesP[i])] = Side::kP;
+    lay.pos[static_cast<std::size_t>(inst.nodesP[i])] = static_cast<int>(i);
+  }
+  for (std::size_t j = 0; j < inst.nodesQ.size(); ++j) {
+    lay.side[static_cast<std::size_t>(inst.nodesQ[j])] = Side::kQ;
+    lay.pos[static_cast<std::size_t>(inst.nodesQ[j])] = static_cast<int>(j);
+  }
+  return lay;
+}
+
+/// Lemma 21: with e_fix = (fixed_on_p ? edgesP : edgesQ)[idx], returns
+/// Cov(e_fix, f_j) for every edge index j of the OTHER path: one labeling
+/// round (each cross edge below the fixed edge labels its other endpoint)
+/// plus a suffix sum along the other path.
+std::vector<Weight> cov_row(const PathInstance& inst, const Layout& lay, bool fixed_on_p,
+                            std::size_t idx, minoragg::Ledger& ledger) {
+  const Side below_side = fixed_on_p ? Side::kP : Side::kQ;
+  const Side other_side = fixed_on_p ? Side::kQ : Side::kP;
+  const std::size_t other_len = fixed_on_p ? inst.nodesQ.size() : inst.nodesP.size();
+
+  std::vector<std::int64_t> label(other_len, 0);
+  ledger.charge(1);
+  for (const Edge& e : inst.graph.edges()) {
+    for (const auto& [a, b] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+      // a below the fixed edge on its path, b on the other path.
+      if (lay.side[static_cast<std::size_t>(a)] != below_side) continue;
+      if (static_cast<std::size_t>(lay.pos[static_cast<std::size_t>(a)]) < idx) continue;
+      if (lay.side[static_cast<std::size_t>(b)] != other_side) continue;
+      label[static_cast<std::size_t>(lay.pos[static_cast<std::size_t>(b)])] += e.w;
+    }
+  }
+  const auto suffix = minoragg::path_suffix_sums<SumAgg>(label, ledger);
+  return std::vector<Weight>(suffix.begin(), suffix.end());
+}
+
+struct RowScan {
+  CutResult best;                       // best candidate pair in this row
+  std::ptrdiff_t argmin_candidate = -1; // steering split: candidate argmin index
+};
+
+/// Fixes one edge and evaluates Cut(e_fix, f_j) over the other path.
+RowScan scan_row(const PathInstance& inst, const Layout& lay, std::span<const Weight> cov1,
+                 bool fixed_on_p, std::size_t idx, minoragg::Ledger& ledger) {
+  const auto& fixed_edges = fixed_on_p ? inst.edgesP : inst.edgesQ;
+  const auto& other_edges = fixed_on_p ? inst.edgesQ : inst.edgesP;
+  const EdgeId e_fix = fixed_edges[idx];
+  const std::vector<Weight> cov = cov_row(inst, lay, fixed_on_p, idx, ledger);
+  ledger.charge(1);  // min-aggregation broadcast of the row result
+
+  RowScan out;
+  Weight arg_best = kInfWeight;
+  for (std::size_t j = 0; j < other_edges.size(); ++j) {
+    const EdgeId f = other_edges[j];
+    const Weight cut = cov1[static_cast<std::size_t>(e_fix)] +
+                       cov1[static_cast<std::size_t>(f)] - 2 * cov[j];
+    const bool f_cand = inst.origin[static_cast<std::size_t>(f)] != kNoEdge;
+    if (f_cand && cut < arg_best) {
+      arg_best = cut;
+      out.argmin_candidate = static_cast<std::ptrdiff_t>(j);
+    }
+    if (f_cand && inst.origin[static_cast<std::size_t>(e_fix)] != kNoEdge) {
+      out.best.absorb(CutResult{cut, inst.origin[static_cast<std::size_t>(e_fix)],
+                                inst.origin[static_cast<std::size_t>(f)]});
+    }
+  }
+  return out;
+}
+
+bool has_candidate(const PathInstance& inst, const std::vector<EdgeId>& edges) {
+  return std::any_of(edges.begin(), edges.end(), [&inst](EdgeId e) {
+    return inst.origin[static_cast<std::size_t>(e)] != kNoEdge;
+  });
+}
+
+/// Definition in Section 6: separable iff every cross-path edge touches one
+/// of {root, top(P), bottom(P), top(Q), bottom(Q)}.
+bool is_separable(const PathInstance& inst, const Layout& lay) {
+  const auto is_boundary = [&](NodeId v) {
+    const int p = lay.pos[static_cast<std::size_t>(v)];
+    const std::size_t len = lay.side[static_cast<std::size_t>(v)] == Side::kP
+                                ? inst.nodesP.size()
+                                : inst.nodesQ.size();
+    return p == 0 || p == static_cast<int>(len) - 1;
+  };
+  for (const Edge& e : inst.graph.edges()) {
+    const Side su = lay.side[static_cast<std::size_t>(e.u)];
+    const Side sv = lay.side[static_cast<std::size_t>(e.v)];
+    if (su == Side::kRoot || sv == Side::kRoot || su == sv) continue;  // not cross-path
+    if (!is_boundary(e.u) && !is_boundary(e.v)) return false;
+  }
+  return true;
+}
+
+/// Lemma 22 (separable): interior pairs decompose as F_P(e) + F_Q(f); the
+/// e_1 row and f_1 column (where top-incident cross edges break the
+/// decomposition) are scanned directly.
+CutResult solve_separable(const PathInstance& inst, const Layout& lay,
+                          std::span<const Weight> cov1, minoragg::Ledger& ledger) {
+  CutResult best;
+  best.absorb(scan_row(inst, lay, cov1, true, 0, ledger).best);
+  best.absorb(scan_row(inst, lay, cov1, false, 0, ledger).best);
+
+  const NodeId bottom_p = inst.nodesP.back();
+  const NodeId bottom_q = inst.nodesQ.back();
+  // CQ[j] (suffix): cross edges {bottom(P), x ∈ Q} cover every e and cover
+  // f_j iff j <= pos(x). CP symmetric, with the {bottom(P), bottom(Q)} edge
+  // assigned to CQ only (it covers every pair exactly once).
+  std::vector<std::int64_t> cq(inst.nodesQ.size(), 0), cp(inst.nodesP.size(), 0);
+  ledger.charge(1);
+  for (const Edge& e : inst.graph.edges()) {
+    for (const auto& [a, b] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+      if (a == bottom_p && lay.side[static_cast<std::size_t>(b)] == Side::kQ) {
+        cq[static_cast<std::size_t>(lay.pos[static_cast<std::size_t>(b)])] += e.w;
+        break;  // counted once
+      }
+      if (a == bottom_q && lay.side[static_cast<std::size_t>(b)] == Side::kP &&
+          b != bottom_p) {
+        cp[static_cast<std::size_t>(lay.pos[static_cast<std::size_t>(b)])] += e.w;
+        break;
+      }
+    }
+  }
+  const auto cq_suffix = minoragg::path_suffix_sums<SumAgg>(cq, ledger);
+  const auto cp_suffix = minoragg::path_suffix_sums<SumAgg>(cp, ledger);
+
+  // Interior minimization: min F_P + min F_Q over candidates with index >= 1.
+  const auto interior_min = [&](const std::vector<EdgeId>& edges,
+                                const std::vector<std::int64_t>& csuffix) {
+    std::pair<Weight, EdgeId> best_side{kInfWeight, kNoEdge};
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      const EdgeId e = edges[i];
+      if (inst.origin[static_cast<std::size_t>(e)] == kNoEdge) continue;
+      const Weight f = cov1[static_cast<std::size_t>(e)] - 2 * csuffix[i];
+      if (f < best_side.first) best_side = {f, inst.origin[static_cast<std::size_t>(e)]};
+    }
+    return best_side;
+  };
+  ledger.charge(1);  // two parallel min-aggregations + broadcast
+  const auto [fp, ep] = interior_min(inst.edgesP, cp_suffix);
+  const auto [fq, eq] = interior_min(inst.edgesQ, cq_suffix);
+  if (ep != kNoEdge && eq != kNoEdge) best.absorb(CutResult{fp + fq, ep, eq});
+  return best;
+}
+
+struct SubInstances {
+  std::optional<PathInstance> up, down;
+};
+
+/// Builds the cut-equivalent private graphs of Lemma 23, step 5/6, by
+/// absorbing each discarded region into its boundary node: everything below
+/// the midpoint/best-response edges collapses into the (virtualized) bottom
+/// nodes of P_up/Q_up for G_up; everything above collapses into a fresh
+/// virtual root for G_down.
+SubInstances build_sub_instances(const PathInstance& inst, std::size_t a, std::size_t b,
+                                 minoragg::Ledger& ledger) {
+  SubInstances out;
+  const std::size_t np = inst.edgesP.size(), nq = inst.edgesQ.size();
+  ledger.charge(4);  // Lemma 15 virtualizations + distributed storage setup
+
+  if (a >= 1 && b >= 1) {
+    // G_up: new ids: root=0, P_up -> 1..a, Q_up -> a+1..a+b.
+    std::vector<NodeId> map(static_cast<std::size_t>(inst.graph.n()), kNoNode);
+    map[static_cast<std::size_t>(inst.root)] = 0;
+    for (std::size_t i = 0; i < np; ++i)
+      map[static_cast<std::size_t>(inst.nodesP[i])] =
+          static_cast<NodeId>(1 + std::min(i, a - 1));
+    for (std::size_t j = 0; j < nq; ++j)
+      map[static_cast<std::size_t>(inst.nodesQ[j])] =
+          static_cast<NodeId>(1 + a + std::min(j, b - 1));
+    RemappedGraph rg = remap_graph(inst.graph, inst.origin, map,
+                                   static_cast<NodeId>(1 + a + b));
+    PathInstance up;
+    up.graph = std::move(rg.graph);
+    up.origin = std::move(rg.origin);
+    up.root = 0;
+    up.is_virtual.assign(static_cast<std::size_t>(up.graph.n()), false);
+    for (NodeId v = 0; v < inst.graph.n(); ++v)
+      if (inst.is_virtual[static_cast<std::size_t>(v)])
+        up.is_virtual[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] = true;
+    up.is_virtual[0] = true;                                  // boundary root
+    up.is_virtual[static_cast<std::size_t>(a)] = true;        // p_{-1}
+    up.is_virtual[static_cast<std::size_t>(a + b)] = true;    // q_{-1}
+    for (std::size_t i = 0; i < a; ++i) {
+      up.nodesP.push_back(static_cast<NodeId>(1 + i));
+      up.edgesP.push_back(rg.edge_map[static_cast<std::size_t>(inst.edgesP[i])]);
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+      up.nodesQ.push_back(static_cast<NodeId>(1 + a + j));
+      up.edgesQ.push_back(rg.edge_map[static_cast<std::size_t>(inst.edgesQ[j])]);
+    }
+    out.up = std::move(up);
+  }
+
+  if (a + 1 < np && b + 1 < nq) {
+    // G_down: new ids: r_down=0, P nodes a.. -> 1.., Q nodes b.. -> after.
+    const std::size_t lp = np - a;  // kept P nodes (nodesP[a..])
+    const std::size_t lq = nq - b;
+    std::vector<NodeId> map(static_cast<std::size_t>(inst.graph.n()), 0);  // external -> r_down
+    for (std::size_t i = a; i < np; ++i)
+      map[static_cast<std::size_t>(inst.nodesP[i])] = static_cast<NodeId>(1 + (i - a));
+    for (std::size_t j = b; j < nq; ++j)
+      map[static_cast<std::size_t>(inst.nodesQ[j])] = static_cast<NodeId>(1 + lp + (j - b));
+    RemappedGraph rg = remap_graph(inst.graph, inst.origin, map,
+                                   static_cast<NodeId>(1 + lp + lq));
+    PathInstance down;
+    down.graph = std::move(rg.graph);
+    down.origin = std::move(rg.origin);
+    down.root = 0;
+    down.is_virtual.assign(static_cast<std::size_t>(down.graph.n()), false);
+    for (NodeId v = 0; v < inst.graph.n(); ++v)
+      if (inst.is_virtual[static_cast<std::size_t>(v)] &&
+          map[static_cast<std::size_t>(v)] != 0)
+        down.is_virtual[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] = true;
+    down.is_virtual[0] = true;  // r_down
+    // Synthetic connectors {r_down, top}: tree edges, never candidates.
+    const EdgeId conn_p = down.graph.add_edge(0, 1, 1);
+    down.origin.push_back(kNoEdge);
+    const EdgeId conn_q = down.graph.add_edge(0, static_cast<NodeId>(1 + lp), 1);
+    down.origin.push_back(kNoEdge);
+    down.nodesP.push_back(1);
+    down.edgesP.push_back(conn_p);
+    for (std::size_t i = a + 1; i < np; ++i) {
+      down.nodesP.push_back(static_cast<NodeId>(1 + (i - a)));
+      down.edgesP.push_back(rg.edge_map[static_cast<std::size_t>(inst.edgesP[i])]);
+    }
+    down.nodesQ.push_back(static_cast<NodeId>(1 + lp));
+    down.edgesQ.push_back(conn_q);
+    for (std::size_t j = b + 1; j < nq; ++j) {
+      down.nodesQ.push_back(static_cast<NodeId>(1 + lp + (j - b)));
+      down.edgesQ.push_back(rg.edge_map[static_cast<std::size_t>(inst.edgesQ[j])]);
+    }
+    out.down = std::move(down);
+  }
+  return out;
+}
+
+CutResult solve(const PathInstance& inst, minoragg::Ledger& parent, int depth) {
+  UMC_ASSERT(!inst.edgesP.empty() && !inst.edgesQ.empty());
+  minoragg::Ledger local;
+  local.set_max("max_p2p_depth", depth);
+
+  std::vector<EdgeId> tree_edges(inst.edgesP.begin(), inst.edgesP.end());
+  tree_edges.insert(tree_edges.end(), inst.edgesQ.begin(), inst.edgesQ.end());
+  const RootedTree t(inst.graph, tree_edges, inst.root);
+  const HeavyLightDecomposition hld = minoragg::hl_construct(t, local);
+  const OneRespectResult r1 = one_respecting_cuts(t, inst.origin, hld, local);
+  CutResult best = r1.best;
+  const Layout lay = classify(inst);
+  const std::size_t np = inst.edgesP.size(), nq = inst.edgesQ.size();
+
+  if (!has_candidate(inst, inst.edgesP) || !has_candidate(inst, inst.edgesQ)) {
+    // No candidate pair exists; only the 1-respecting minimum matters.
+    minoragg::settle_virtual_execution(parent, local, inst.beta());
+    return best;
+  }
+
+  if (std::min(np, nq) <= 10) {
+    // Base case: exhaustively scan every edge of the shorter path.
+    const bool scan_p = np <= nq;
+    const std::size_t len = scan_p ? np : nq;
+    for (std::size_t i = 0; i < len; ++i)
+      best.absorb(scan_row(inst, lay, r1.cut, scan_p, i, local).best);
+    minoragg::settle_virtual_execution(parent, local, inst.beta());
+    return best;
+  }
+
+  if (is_separable(inst, lay)) {
+    best.absorb(solve_separable(inst, lay, r1.cut, local));
+    minoragg::settle_virtual_execution(parent, local, inst.beta());
+    return best;
+  }
+
+  // Lemma 23: midpoint + best candidate response, then Monge recursion.
+  const std::size_t a = np / 2;
+  const RowScan row_a = scan_row(inst, lay, r1.cut, true, a, local);
+  best.absorb(row_a.best);
+  UMC_ASSERT(row_a.argmin_candidate >= 0);  // Q has a candidate
+  const std::size_t b = static_cast<std::size_t>(row_a.argmin_candidate);
+  best.absorb(scan_row(inst, lay, r1.cut, false, b, local).best);
+
+  const SubInstances subs = build_sub_instances(inst, a, b, local);
+  minoragg::settle_virtual_execution(parent, local, inst.beta());
+
+  // The recursive calls are node-disjoint: schedule them simultaneously.
+  std::vector<minoragg::Ledger> kids;
+  if (subs.up) {
+    minoragg::Ledger l;
+    best.absorb(solve(*subs.up, l, depth + 1));
+    kids.push_back(std::move(l));
+  }
+  if (subs.down) {
+    minoragg::Ledger l;
+    best.absorb(solve(*subs.down, l, depth + 1));
+    kids.push_back(std::move(l));
+  }
+  parent.charge_parallel(kids);
+  return best;
+}
+
+}  // namespace
+
+CutResult path_to_path_mincut(const PathInstance& inst, minoragg::Ledger& ledger) {
+  return solve(inst, ledger, 1);
+}
+
+}  // namespace umc::mincut

@@ -1,0 +1,114 @@
+#include "mincut/star.hpp"
+
+#include <algorithm>
+
+#include "congest/edge_coloring.hpp"
+#include "mincut/one_respect.hpp"
+#include "mincut/path_to_path.hpp"
+#include "minoragg/tree_primitives.hpp"
+#include "minoragg/virtual_graph.hpp"
+
+namespace umc::mincut {
+
+namespace {
+
+/// Cut-equivalent pair instance for paths (i, j): every node outside the
+/// two paths (the root and all other paths, with whatever hangs off them)
+/// is absorbed into a fresh virtual pair-root. Real top edges {root, top}
+/// become the instance's root edges with their weights/origins intact.
+PathInstance build_pair_instance(const StarInstance& inst, int i, int j) {
+  const auto& pn_i = inst.path_nodes[static_cast<std::size_t>(i)];
+  const auto& pn_j = inst.path_nodes[static_cast<std::size_t>(j)];
+  const NodeId li = static_cast<NodeId>(pn_i.size());
+  const NodeId lj = static_cast<NodeId>(pn_j.size());
+
+  std::vector<NodeId> map(static_cast<std::size_t>(inst.graph.n()), 0);  // external -> 0
+  for (NodeId x = 0; x < li; ++x)
+    map[static_cast<std::size_t>(pn_i[static_cast<std::size_t>(x)])] = 1 + x;
+  for (NodeId x = 0; x < lj; ++x)
+    map[static_cast<std::size_t>(pn_j[static_cast<std::size_t>(x)])] = 1 + li + x;
+  RemappedGraph rg = remap_graph(inst.graph, inst.origin, map, 1 + li + lj);
+
+  PathInstance pair;
+  pair.graph = std::move(rg.graph);
+  pair.origin = std::move(rg.origin);
+  pair.root = 0;
+  pair.is_virtual.assign(static_cast<std::size_t>(pair.graph.n()), false);
+  pair.is_virtual[0] = true;  // the pair-root absorbing the outside world
+  for (NodeId v = 0; v < inst.graph.n(); ++v)
+    if (inst.is_virtual[static_cast<std::size_t>(v)] && map[static_cast<std::size_t>(v)] != 0)
+      pair.is_virtual[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] = true;
+  for (NodeId x = 0; x < li; ++x) {
+    pair.nodesP.push_back(1 + x);
+    pair.edgesP.push_back(
+        rg.edge_map[static_cast<std::size_t>(inst.path_edges[static_cast<std::size_t>(i)][static_cast<std::size_t>(x)])]);
+  }
+  for (NodeId x = 0; x < lj; ++x) {
+    pair.nodesQ.push_back(1 + li + x);
+    pair.edgesQ.push_back(
+        rg.edge_map[static_cast<std::size_t>(inst.path_edges[static_cast<std::size_t>(j)][static_cast<std::size_t>(x)])]);
+  }
+  return pair;
+}
+
+}  // namespace
+
+CutResult star_mincut(const StarInstance& inst, minoragg::Ledger& ledger) {
+  UMC_ASSERT(inst.k() >= 1);
+  minoragg::Ledger local;
+
+  // 1-respecting cuts over the whole star (Theorem 18).
+  std::vector<EdgeId> tree_edges;
+  for (const auto& pe : inst.path_edges)
+    tree_edges.insert(tree_edges.end(), pe.begin(), pe.end());
+  const RootedTree t(inst.graph, tree_edges, inst.root);
+  const HeavyLightDecomposition hld = minoragg::hl_construct(t, local);
+  CutResult best = one_respecting_cuts(t, inst.origin, hld, local).best;
+
+  if (inst.k() >= 2) {
+    // Interest lists (Lemma 32) and the mutual-interest graph (Def. 33).
+    const auto lists = interest_lists(inst, local);
+    const auto igraph = interest_graph(lists);
+    int delta = 0;
+    for (const auto& adj : igraph) delta = std::max(delta, static_cast<int>(adj.size()));
+    local.set_max("max_interest_degree", delta);
+
+    // Edge-color the interest graph (Lemma 35) via the CONGEST-on-interest-
+    // graph simulation (Lemma 34: one MA round per CONGEST round).
+    WeightedGraph ig(static_cast<NodeId>(inst.k()));
+    std::vector<std::pair<int, int>> pairs;
+    for (std::size_t i = 0; i < igraph.size(); ++i) {
+      for (const int j : igraph[i]) {
+        if (static_cast<int>(i) < j) {
+          ig.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+          pairs.emplace_back(static_cast<int>(i), j);
+        }
+      }
+    }
+    const congest::EdgeColoring coloring = congest::deterministic_edge_coloring(ig);
+    local.charge(coloring.congest_rounds);
+    local.set_max("max_interest_colors", coloring.num_colors);
+
+    minoragg::settle_virtual_execution(ledger, local, inst.beta());
+
+    // Process color classes in series; within a class the matched pairs are
+    // node-disjoint, so their path-to-path calls run simultaneously.
+    for (int c = 0; c < coloring.num_colors; ++c) {
+      std::vector<minoragg::Ledger> kids;
+      for (EdgeId e = 0; e < ig.m(); ++e) {
+        if (coloring.color[static_cast<std::size_t>(e)] != c) continue;
+        const auto [i, j] = pairs[static_cast<std::size_t>(e)];
+        const PathInstance pair = build_pair_instance(inst, i, j);
+        minoragg::Ledger kid;
+        best.absorb(path_to_path_mincut(pair, kid));
+        kids.push_back(std::move(kid));
+      }
+      ledger.charge_parallel(kids);
+    }
+  } else {
+    minoragg::settle_virtual_execution(ledger, local, inst.beta());
+  }
+  return best;
+}
+
+}  // namespace umc::mincut

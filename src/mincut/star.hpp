@@ -1,0 +1,22 @@
+#pragma once
+
+// Star 2-respecting min-cut (Section 7, Theorem 27).
+//
+// Pipeline: 1-respecting cuts (Theorem 18) → interest lists (Lemma 32) →
+// mutual-interest graph (Definition 33, max degree O(log n) by Lemma 30) →
+// deterministic O(Δ)-edge-coloring simulated on the interest graph
+// (Lemmas 34/35) → per color class, node-disjoint path-to-path calls
+// (Theorem 19) on cut-equivalent pair instances built by absorbing
+// everything outside the pair into a virtual pair-root.
+
+#include "mincut/instance.hpp"
+#include "mincut/interest.hpp"
+#include "minoragg/ledger.hpp"
+
+namespace umc::mincut {
+
+/// min of candidate 1-respecting cuts and candidate 2-respecting pairs on
+/// different paths. Counters: "max_interest_degree", "max_interest_colors".
+[[nodiscard]] CutResult star_mincut(const StarInstance& inst, minoragg::Ledger& ledger);
+
+}  // namespace umc::mincut

@@ -1,0 +1,162 @@
+#include "mincut/subtree_instance.hpp"
+
+#include <algorithm>
+
+#include "graph/minors.hpp"
+#include "mincut/one_respect.hpp"
+#include "mincut/star.hpp"
+#include "minoragg/tree_primitives.hpp"
+#include "minoragg/virtual_graph.hpp"
+#include "util/math.hpp"
+
+namespace umc::mincut {
+
+namespace {
+
+/// One HL-chain of the instance tree, as a candidate star path.
+struct Chain {
+  int branch = -1;  // child-of-root branch index
+  int hl_depth = 0;
+  std::vector<NodeId> nodes;  // top → bottom (host node ids)
+  std::vector<EdgeId> edges;  // parent edges of `nodes` (host edge ids)
+};
+
+}  // namespace
+
+CutResult between_subtree_mincut(const WeightedGraph& g, std::span<const EdgeId> tree_edges,
+                                 NodeId root, std::span<const EdgeId> origin,
+                                 const std::vector<bool>& is_virtual,
+                                 minoragg::Ledger& ledger) {
+  minoragg::Ledger local;
+  const RootedTree t(g, tree_edges, root);
+  const HeavyLightDecomposition hld = minoragg::hl_construct(t, local);
+  CutResult best = one_respecting_cuts(t, origin, hld, local).best;
+
+  // Branch index per node: which child-of-root subtree it lives in.
+  std::vector<int> branch(static_cast<std::size_t>(g.n()), -1);
+  {
+    int next = 0;
+    for (const NodeId c : t.children(root)) {
+      branch[static_cast<std::size_t>(c)] = next++;
+    }
+    for (const NodeId v : t.preorder()) {
+      if (v == root || branch[static_cast<std::size_t>(v)] != -1) continue;
+      branch[static_cast<std::size_t>(v)] = branch[static_cast<std::size_t>(t.parent(v))];
+    }
+  }
+  const int k = static_cast<int>(t.children(root).size());
+  int beta = 0;
+  for (const bool f : is_virtual) beta += f ? 1 : 0;
+  if (k < 2) {
+    minoragg::settle_virtual_execution(ledger, local, beta);
+    return best;  // no cross-branch pairs exist
+  }
+
+  // HL-chains of the instance tree (the prospective star paths).
+  std::vector<Chain> chains;
+  {
+    const auto by_depth = minoragg::chains_by_hl_depth(t, hld);
+    for (std::size_t d = 0; d < by_depth.size(); ++d) {
+      for (const auto& node_chain : by_depth[d]) {
+        Chain c;
+        c.hl_depth = static_cast<int>(d);
+        for (const NodeId v : node_chain) {
+          if (t.parent_edge(v) == kNoEdge) continue;  // the root heads its chain
+          c.nodes.push_back(v);
+          c.edges.push_back(t.parent_edge(v));
+        }
+        if (c.edges.empty()) continue;
+        c.branch = branch[static_cast<std::size_t>(c.nodes.front())];
+        chains.push_back(std::move(c));
+      }
+    }
+  }
+
+  // Pairwise coloring (Lemma 38): color assignment b = the b-th bit of the
+  // branch index; chi = ceil(log2 k) assignments distinguish every pair.
+  const int chi = std::max(1, ceil_log2(static_cast<std::uint64_t>(k)));
+  local.charge(chi);  // Lemma 38 construction
+  const int maxd = hld.max_hl_depth();
+
+  minoragg::settle_virtual_execution(ledger, local, beta);
+
+  for (int bit = 0; bit < chi; ++bit) {
+    for (int d1 = 0; d1 <= maxd; ++d1) {
+      for (int d2 = 0; d2 <= maxd; ++d2) {
+        if (d1 == d2 && bit > 0) continue;  // color-independent, do it once
+        const auto target = [&](int br) {
+          const bool red = ((br >> bit) & 1) != 0;
+          return red ? d1 : d2;
+        };
+        // Cheap pre-check: at least two surviving paths needed.
+        int surviving = 0;
+        for (const Chain& c : chains)
+          if (c.hl_depth == target(c.branch)) ++surviving;
+        if (surviving < 2) continue;
+
+        minoragg::Ledger iter;
+        // Contract every tree edge of the wrong depth (Figure 4).
+        std::vector<bool> contract(static_cast<std::size_t>(g.m()), false);
+        for (const EdgeId e : tree_edges) {
+          const int br = branch[static_cast<std::size_t>(t.bottom(e))];
+          if (hld.hl_depth_edge(e) != target(br)) contract[static_cast<std::size_t>(e)] = true;
+        }
+        iter.charge(1);
+        const DerivedGraph minor = contract_edges(g, contract);
+
+        // Skip configurations with no cross-path edge: by Lemma 28, no
+        // below-1-respecting pair can live here.
+        StarInstance star;
+        star.graph = minor.graph;
+        star.root = minor.node_map[static_cast<std::size_t>(root)];
+        star.origin.assign(static_cast<std::size_t>(minor.graph.m()), kNoEdge);
+        for (std::size_t e = 0; e < minor.edge_origin.size(); ++e)
+          star.origin[e] = origin[static_cast<std::size_t>(minor.edge_origin[e])];
+        star.is_virtual.assign(static_cast<std::size_t>(minor.graph.n()), false);
+        for (NodeId v = 0; v < g.n(); ++v)
+          if (is_virtual[static_cast<std::size_t>(v)])
+            star.is_virtual[static_cast<std::size_t>(minor.node_map[static_cast<std::size_t>(v)])] = true;
+        std::vector<EdgeId> to_minor_edge(static_cast<std::size_t>(g.m()), kNoEdge);
+        for (std::size_t e = 0; e < minor.edge_origin.size(); ++e)
+          to_minor_edge[static_cast<std::size_t>(minor.edge_origin[e])] = static_cast<EdgeId>(e);
+        for (const Chain& c : chains) {
+          if (c.hl_depth != target(c.branch)) continue;
+          std::vector<NodeId> nodes;
+          std::vector<EdgeId> edges;
+          for (std::size_t x = 0; x < c.nodes.size(); ++x) {
+            nodes.push_back(minor.node_map[static_cast<std::size_t>(c.nodes[x])]);
+            const EdgeId me = to_minor_edge[static_cast<std::size_t>(c.edges[x])];
+            UMC_ASSERT_MSG(me != kNoEdge, "kept tree edge survives the minor");
+            edges.push_back(me);
+          }
+          UMC_ASSERT_MSG(
+              minor.graph.edge(edges.front()).other(nodes.front()) == star.root,
+              "star paths hang off the root supernode");
+          star.path_nodes.push_back(std::move(nodes));
+          star.path_edges.push_back(std::move(edges));
+        }
+
+        bool has_cross = false;
+        {
+          const std::vector<int> of = path_of_node(star);
+          for (const Edge& e : star.graph.edges()) {
+            const int pu = of[static_cast<std::size_t>(e.u)];
+            const int pv = of[static_cast<std::size_t>(e.v)];
+            if (pu >= 0 && pv >= 0 && pu != pv) {
+              has_cross = true;
+              break;
+            }
+          }
+        }
+        if (has_cross) {
+          best.absorb(star_mincut(star, iter));
+          ledger.bump("subtree_star_calls");
+        }
+        ledger.charge_sequential(iter);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace umc::mincut

@@ -1,0 +1,125 @@
+#include "mincut/tree_packing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/stoer_wagner.hpp"
+#include "graph/properties.hpp"
+#include "minoragg/boruvka.hpp"
+#include "util/math.hpp"
+
+namespace umc::mincut {
+
+namespace {
+
+/// Binomial(w, p) sample: exact Bernoulli loop for small w, normal
+/// approximation (clamped) for large w.
+Weight binomial_sample(Weight w, double p, Rng& rng) {
+  if (p >= 1.0) return w;
+  if (p <= 0.0) return 0;
+  if (w <= 64) {
+    Weight s = 0;
+    for (Weight i = 0; i < w; ++i) s += rng.next_bool(p) ? 1 : 0;
+    return s;
+  }
+  const double mean = static_cast<double>(w) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  // Box-Muller from two uniform draws.
+  const double u1 = std::max(1e-12, rng.next_real());
+  const double u2 = rng.next_real();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double value = mean + sd * z;
+  return std::clamp<Weight>(static_cast<Weight>(std::llround(value)), 0, w);
+}
+
+/// Greedy Thorup packing: I iterations of minimum-cost spanning tree where
+/// the cost of an edge is its packing load normalized by multiplicity.
+std::vector<std::vector<EdgeId>> greedy_pack(const WeightedGraph& g,
+                                             std::span<const Weight> multiplicity, int iterations,
+                                             minoragg::Ledger& ledger) {
+  std::vector<std::int64_t> load(static_cast<std::size_t>(g.m()), 0);
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()), 0);
+  std::vector<std::vector<EdgeId>> trees;
+  trees.reserve(static_cast<std::size_t>(iterations));
+  for (int it = 0; it < iterations; ++it) {
+    // cost = load / multiplicity, in fixed point (2^20) so Borůvka can use
+    // integer keys; ties broken by edge id inside Borůvka.
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      cost[static_cast<std::size_t>(e)] =
+          (load[static_cast<std::size_t>(e)] << 20) / multiplicity[static_cast<std::size_t>(e)];
+    }
+    std::vector<EdgeId> tree = minoragg::boruvka_mst(g, cost, ledger);
+    for (const EdgeId e : tree) ++load[static_cast<std::size_t>(e)];
+    trees.push_back(std::move(tree));
+    ledger.bump("packing_iterations");
+  }
+  return trees;
+}
+
+}  // namespace
+
+TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                         const PackingConfig& config) {
+  UMC_ASSERT(g.n() >= 2);
+  TreePacking out;
+
+  // Seed lambda (substitution for the [17] approx black box; see header).
+  out.lambda_seed = baseline::stoer_wagner(g).value;
+  const std::int64_t logn = ceil_log2(static_cast<std::uint64_t>(g.n()) + 1) + 1;
+  const std::int64_t logm = ceil_log2(static_cast<std::uint64_t>(g.m()) + 2) + 1;
+  ledger.charge(logn * logn);  // the approx-min-cut's polylog round budget
+
+  const auto cap = [&config](std::int64_t iters) {
+    iters = std::max<std::int64_t>(iters, 1);
+    if (config.max_trees > 0) iters = std::min<std::int64_t>(iters, config.max_trees);
+    return static_cast<int>(iters);
+  };
+
+  if (static_cast<double>(out.lambda_seed) <=
+      config.direct_threshold_c * static_cast<double>(logn)) {
+    // Case (A): lambda = O(log n) — direct greedy packing.
+    std::vector<Weight> multiplicity(static_cast<std::size_t>(g.m()));
+    for (EdgeId e = 0; e < g.m(); ++e) multiplicity[static_cast<std::size_t>(e)] = g.edge(e).w;
+    out.trees = greedy_pack(g, multiplicity, cap(2 * out.lambda_seed * logm), ledger);
+    return out;
+  }
+
+  // Case (B): Karger-sample with p = C log n / lambda, then pack the sample.
+  out.sampled = true;
+  const double base_p =
+      config.sample_c * static_cast<double>(logn) / static_cast<double>(out.lambda_seed);
+  for (double p = base_p;; p = std::min(1.0, 2 * p)) {
+    std::vector<Weight> multiplicity(static_cast<std::size_t>(g.m()));
+    WeightedGraph sample(g.n());
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const Weight s = binomial_sample(g.edge(e).w, p, rng);
+      multiplicity[static_cast<std::size_t>(e)] = s;
+      if (s > 0) sample.add_edge(g.edge(e).u, g.edge(e).v, s);
+    }
+    if (!is_connected(sample)) {
+      UMC_ASSERT_MSG(p < 1.0, "sampling at p = 1 keeps the graph connected");
+      continue;  // resample denser (whp never needed at the theorem's C)
+    }
+    // The sampled min-cut value = Theta(C log n) whp; seed the iteration
+    // count from it exactly (same substitution as above).
+    const Weight lambda_sample = baseline::stoer_wagner(sample).value;
+    // Pack on the original graph topology restricted to sampled edges.
+    std::vector<EdgeId> present;  // sample edge -> original edge id
+    for (EdgeId e = 0; e < g.m(); ++e)
+      if (multiplicity[static_cast<std::size_t>(e)] > 0) present.push_back(e);
+    std::vector<Weight> sample_mult;
+    sample_mult.reserve(present.size());
+    for (const EdgeId e : present) sample_mult.push_back(multiplicity[static_cast<std::size_t>(e)]);
+    const auto sampled_trees =
+        greedy_pack(sample, sample_mult, cap(2 * lambda_sample * logm), ledger);
+    for (const auto& tree : sampled_trees) {
+      std::vector<EdgeId> mapped;
+      mapped.reserve(tree.size());
+      for (const EdgeId e : tree) mapped.push_back(present[static_cast<std::size_t>(e)]);
+      out.trees.push_back(std::move(mapped));
+    }
+    return out;
+  }
+}
+
+}  // namespace umc::mincut

@@ -1,0 +1,46 @@
+#pragma once
+
+// Tree packing (Section 3.4, Theorem 12).
+//
+// Produces O(log^2 n) spanning trees such that, with high probability,
+// every cut of value <= 1.05*lambda 2-respects at least one tree:
+//   * if lambda is already O(log n): greedy MST packing (Thorup) — re-run
+//     Borůvka I = 2*lambda*log(m) times under "packing load" costs;
+//   * otherwise: Karger-sample edges with p = C*log(n)/lambda first (case B
+//     of the Theorem 12 proof sketch), then greedy-pack the sample.
+//
+// Substitution (documented in DESIGN.md): the (1+eps)-approximation of
+// lambda used to set the sampling rate is cited prior work [17] in the
+// paper; this implementation seeds it with the exact Stoer-Wagner value and
+// charges a polylog placeholder round cost for it.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "minoragg/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace umc::mincut {
+
+struct PackingConfig {
+  /// Sampling constant C in p = C*log2(n)/lambda.
+  double sample_c = 2.0;
+  /// Direct greedy packing below this multiple of log2(n).
+  double direct_threshold_c = 4.0;
+  /// Hard cap on the number of trees (0 = the theorem's I); useful for
+  /// quick experiments that trade the whp guarantee for speed.
+  int max_trees = 0;
+};
+
+struct TreePacking {
+  std::vector<std::vector<EdgeId>> trees;  // edge ids of the input graph
+  Weight lambda_seed = 0;                  // min-cut estimate used
+  bool sampled = false;                    // took the Karger-sampling route
+};
+
+/// Requires a connected graph with n >= 2.
+[[nodiscard]] TreePacking tree_packing(const WeightedGraph& g, Rng& rng,
+                                       minoragg::Ledger& ledger,
+                                       const PackingConfig& config = {});
+
+}  // namespace umc::mincut

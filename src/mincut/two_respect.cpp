@@ -1,0 +1,98 @@
+#include "mincut/two_respect.hpp"
+
+#include <algorithm>
+
+#include "mincut/cut_values.hpp"
+#include "mincut/subtree_instance.hpp"
+#include "minoragg/tree_primitives.hpp"
+#include "minoragg/virtual_graph.hpp"
+
+namespace umc::mincut {
+
+namespace {
+
+/// Constant-size instances are solved by direct evaluation (a constant
+/// number of Definition 9 rounds in the model).
+CutResult solve_base(const Instance& inst, minoragg::Ledger& ledger) {
+  ledger.charge(1);
+  const RootedTree t(inst.graph, inst.tree_edges, inst.root);
+  CutResult best;
+  for (std::size_t i = 0; i < inst.tree_edges.size(); ++i) {
+    const EdgeId e = inst.tree_edges[i];
+    const EdgeId oe = inst.origin[static_cast<std::size_t>(e)];
+    if (oe == kNoEdge) continue;
+    best.absorb(CutResult{reference_cut_pair(t, e, e), oe, kNoEdge});
+    for (std::size_t j = i + 1; j < inst.tree_edges.size(); ++j) {
+      const EdgeId f = inst.tree_edges[j];
+      const EdgeId of = inst.origin[static_cast<std::size_t>(f)];
+      if (of == kNoEdge) continue;
+      best.absorb(CutResult{reference_cut_pair(t, e, f), oe, of});
+    }
+  }
+  return best;
+}
+
+CutResult solve(const Instance& inst, minoragg::Ledger& parent, int depth) {
+  parent.set_max("max_general_depth", depth);
+  if (inst.graph.n() <= 3) return solve_base(inst, parent);
+
+  minoragg::Ledger local;
+  // Root anywhere, find the centroid (Lemma 42), then treat the tree as a
+  // subtree instance rooted at the centroid.
+  const RootedTree t0(inst.graph, inst.tree_edges, inst.root);
+  const HeavyLightDecomposition hld0 = minoragg::hl_construct(t0, local);
+  const NodeId c = minoragg::find_centroid_ma(t0, hld0, local);
+
+  CutResult best = between_subtree_mincut(inst.graph, inst.tree_edges, c, inst.origin,
+                                          inst.is_virtual, local);
+  minoragg::settle_virtual_execution(parent, local, inst.beta());
+
+  // Lemma 43: private cut-equivalent branch instances H_i, each with its
+  // own virtual centroid (node 0); node-disjoint, so scheduled together.
+  const RootedTree tc(inst.graph, inst.tree_edges, c);
+  std::vector<minoragg::Ledger> kids;
+  for (const NodeId child : tc.children(c)) {
+    // Collect the branch below `child` (including child).
+    std::vector<NodeId> map(static_cast<std::size_t>(inst.graph.n()), 0);  // outside -> c_i
+    std::vector<NodeId> members;
+    for (const NodeId v : tc.preorder()) {
+      if (!tc.is_ancestor(child, v)) continue;
+      map[static_cast<std::size_t>(v)] = static_cast<NodeId>(1 + members.size());
+      members.push_back(v);
+    }
+    RemappedGraph rg =
+        remap_graph(inst.graph, inst.origin, map, static_cast<NodeId>(1 + members.size()));
+    Instance sub;
+    sub.graph = std::move(rg.graph);
+    sub.origin = std::move(rg.origin);
+    sub.root = 0;  // the virtual centroid; re-rooted at the next centroid anyway
+    sub.is_virtual.assign(static_cast<std::size_t>(sub.graph.n()), false);
+    sub.is_virtual[0] = true;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      sub.is_virtual[i + 1] = inst.is_virtual[static_cast<std::size_t>(members[i])];
+    for (const EdgeId e : inst.tree_edges) {
+      const EdgeId mapped = rg.edge_map[static_cast<std::size_t>(e)];
+      if (mapped != kNoEdge) sub.tree_edges.push_back(mapped);
+    }
+    UMC_ASSERT(static_cast<NodeId>(sub.tree_edges.size()) == sub.graph.n() - 1);
+
+    minoragg::Ledger kid;
+    best.absorb(solve(sub, kid, depth + 1));
+    kids.push_back(std::move(kid));
+  }
+  parent.charge_parallel(kids);
+  return best;
+}
+
+}  // namespace
+
+CutResult two_respecting_mincut(const Instance& inst, minoragg::Ledger& ledger) {
+  return solve(inst, ledger, 1);
+}
+
+CutResult two_respecting_mincut(const WeightedGraph& g, std::span<const EdgeId> tree_edges,
+                                NodeId root, minoragg::Ledger& ledger) {
+  return two_respecting_mincut(make_root_instance(g, tree_edges, root), ledger);
+}
+
+}  // namespace umc::mincut

@@ -1,0 +1,37 @@
+#include "mincut/witness.hpp"
+
+namespace umc::mincut {
+
+CutWitness cut_witness(const RootedTree& t, EdgeId e, EdgeId f) {
+  const WeightedGraph& g = t.host();
+  UMC_ASSERT(t.is_tree_edge(e));
+  const NodeId be = t.bottom(e);
+  const NodeId bf = f == kNoEdge ? kNoNode : t.bottom(f);
+  if (f != kNoEdge) UMC_ASSERT(t.is_tree_edge(f));
+
+  CutWitness w;
+  w.side.assign(static_cast<std::size_t>(g.n()), false);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const bool in_e = t.is_ancestor(be, v);
+    const bool in_f = bf != kNoNode && t.is_ancestor(bf, v);
+    // The unique cut cutting exactly {e, f}: nodes covered by an odd number
+    // of the two subtrees (handles nested bottoms: subtree(f) inside
+    // subtree(e) carves a ring).
+    w.side[static_cast<std::size_t>(v)] = in_e != in_f;
+  }
+  for (EdgeId ge = 0; ge < g.m(); ++ge) {
+    const Edge& ed = g.edge(ge);
+    if (w.side[static_cast<std::size_t>(ed.u)] != w.side[static_cast<std::size_t>(ed.v)]) {
+      w.crossing.push_back(ge);
+      w.value += ed.w;
+    }
+  }
+  return w;
+}
+
+CutWitness cut_witness(const RootedTree& t, const CutResult& r) {
+  UMC_ASSERT_MSG(r.found(), "no cut to materialize");
+  return cut_witness(t, r.e, r.f);
+}
+
+}  // namespace umc::mincut

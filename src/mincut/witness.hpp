@@ -1,0 +1,32 @@
+#pragma once
+
+// Cut-witness extraction: turn a (e, f) 2-respecting answer back into the
+// actual bipartition and the crossing edge set — what a downstream user of
+// the library actually consumes (which links to reinforce, which region
+// gets isolated).
+
+#include <vector>
+
+#include "mincut/instance.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace umc::mincut {
+
+struct CutWitness {
+  /// side[v]: true iff v is inside the cut-off region, i.e. in
+  /// subtree(bottom(e)) XOR subtree(bottom(f)) of the defining tree.
+  std::vector<bool> side;
+  /// Host-graph edge ids crossing the cut.
+  std::vector<EdgeId> crossing;
+  Weight value = 0;
+};
+
+/// Materializes the cut that cuts exactly {e} (f == kNoEdge) or {e, f}
+/// among the tree edges of `t`. The returned value always equals the sum of
+/// crossing weights — use it to double-check any CutResult.
+[[nodiscard]] CutWitness cut_witness(const RootedTree& t, EdgeId e, EdgeId f = kNoEdge);
+
+/// Convenience: witness for a CutResult reported against tree `t`.
+[[nodiscard]] CutWitness cut_witness(const RootedTree& t, const CutResult& r);
+
+}  // namespace umc::mincut

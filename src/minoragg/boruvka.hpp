@@ -1,0 +1,26 @@
+#pragma once
+
+// Borůvka MST as a Minor-Aggregation algorithm — the instructive example of
+// the paper's introduction, and the workhorse of the greedy tree packing
+// (Theorem 12), which re-runs it O(log^2 n) times under changing edge costs.
+//
+// Each iteration is one literal Definition 9 round: contract the forest
+// built so far, let every surviving minor edge propose (cost, id) to both
+// endpoints, and min-aggregate per supernode. O(log n) iterations.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "minoragg/ledger.hpp"
+
+namespace umc::minoragg {
+
+/// Minimum spanning tree under external costs (ties by edge id, so costs
+/// need not be distinct). Requires a connected graph. Returns tree edge ids.
+[[nodiscard]] std::vector<EdgeId> boruvka_mst(const WeightedGraph& g,
+                                              std::span<const std::int64_t> cost,
+                                              Ledger& ledger);
+
+}  // namespace umc::minoragg

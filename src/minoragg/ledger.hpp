@@ -1,0 +1,104 @@
+#pragma once
+
+// Round accounting for the Minor-Aggregation model.
+//
+// Every model operation charges rounds to a Ledger. Composition rules match
+// the paper:
+//   * sequential steps add (default `charge`),
+//   * node-disjoint simultaneous executions add the MAX of their children's
+//     counts (Corollary 11) via `charge_parallel`,
+//   * executing on a virtual graph with beta virtual nodes multiplies each
+//     round by (beta + 1) (Theorem 14) — see VirtualNetwork.
+//
+// Ledgers also track auxiliary experiment counters (recursion depth,
+// CV iterations, ...) surfaced by the benches.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace umc::minoragg {
+
+class Ledger {
+ public:
+  /// Sequential charge of `r` Minor-Aggregation rounds.
+  void charge(std::int64_t r) {
+    UMC_ASSERT(r >= 0);
+    rounds_ += r;
+  }
+
+  /// Corollary 11: node-disjoint parallel composition — the cost of running
+  /// child algorithms simultaneously is the maximum of their round counts.
+  /// Counters merge by kind (see `absorb_counter`).
+  void charge_parallel(std::span<const Ledger> children) {
+    std::int64_t mx = 0;
+    for (const Ledger& c : children) {
+      mx = std::max(mx, c.rounds_);
+      for (const auto& [k, v] : c.counters_) absorb_counter(k, v);
+    }
+    rounds_ += mx;
+  }
+
+  /// Sequential absorption of a child ledger.
+  void charge_sequential(const Ledger& child) {
+    rounds_ += child.rounds_;
+    for (const auto& [k, v] : child.counters_) absorb_counter(k, v);
+  }
+
+  [[nodiscard]] std::int64_t rounds() const { return rounds_; }
+
+  /// Experiment counters. Two kinds, distinguished by name: keys starting
+  /// with "max_" hold maxima (depths, degrees) and merge by max across any
+  /// composition; all others are additive work counts and merge by sum.
+  void bump(const std::string& key, std::int64_t v = 1) {
+    UMC_ASSERT(key.rfind("max_", 0) != 0);
+    counters_[key] += v;
+  }
+  void set_max(const std::string& key, std::int64_t v) {
+    UMC_ASSERT(key.rfind("max_", 0) == 0);
+    auto& slot = counters_[key];
+    slot = std::max(slot, v);
+  }
+  [[nodiscard]] std::int64_t counter(const std::string& key) const {
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+
+  /// JSON rendering of rounds + counters, for experiment pipelines:
+  /// {"rounds": 123, "counters": {"cv_iterations": 4, ...}}.
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream os;
+    os << "{\"rounds\": " << rounds_ << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [k, v] : counters_) {
+      if (!first) os << ", ";
+      first = false;
+      os << '\"' << k << "\": " << v;
+    }
+    os << "}}";
+    return os.str();
+  }
+
+  /// Merge one counter by its kind ("max_" prefix = max, else sum). Used
+  /// when transferring counters between ledgers.
+  void absorb_counter(const std::string& key, std::int64_t v) {
+    if (key.rfind("max_", 0) == 0) {
+      auto& slot = counters_[key];
+      slot = std::max(slot, v);
+    } else {
+      counters_[key] += v;
+    }
+  }
+
+ private:
+  std::int64_t rounds_ = 0;
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace umc::minoragg

@@ -1,0 +1,181 @@
+#pragma once
+
+// The Minor-Aggregation model simulator (Definition 9).
+//
+// A Network wraps a communication graph and executes rounds consisting of
+// the three model steps:
+//   1. Contraction — each edge picks contract/keep; contracting defines the
+//      minor G' whose supernodes are the contracted components.
+//   2. Consensus — each node contributes x_v; every node of supernode s
+//      learns y_s = ⊕_{v∈s} x_v.
+//   3. Aggregation — each non-self-loop edge of G', knowing y of both its
+//      supernode endpoints, chooses a value for each endpoint; every node of
+//      supernode s learns ⊗ of its incident edges' values.
+//
+// Folds use a deterministic order (increasing node/edge id) so runs are
+// reproducible; all shipped aggregators are either order-independent or
+// mergeable sketches whose guarantees are order-independent (Def. 7).
+//
+// Algorithm code must communicate ONLY through rounds; per-node/per-edge
+// closures may read node-local inputs and prior round outputs.
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/dsu.hpp"
+#include "graph/graph.hpp"
+#include "minoragg/ledger.hpp"
+#include "sketch/aggregators.hpp"
+
+namespace umc::minoragg {
+
+/// Outcome of one round, indexed by node id of the host graph.
+template <typename Y, typename Z>
+struct RoundResult {
+  /// y_{s(v)}: the consensus aggregate of v's supernode.
+  std::vector<Y> consensus;
+  /// ⊗-aggregate of incident E' edge values of v's supernode.
+  std::vector<Z> aggregate;
+  /// Supernode id of v (smallest node id contained in the supernode).
+  std::vector<NodeId> supernode;
+};
+
+class Network {
+ public:
+  /// The caller keeps `g` alive for the Network's lifetime. Rounds charge
+  /// to `ledger`.
+  Network(const WeightedGraph& g, Ledger& ledger) : g_(&g), ledger_(&ledger) {}
+
+  [[nodiscard]] const WeightedGraph& graph() const { return *g_; }
+  [[nodiscard]] Ledger& ledger() { return *ledger_; }
+
+  /// One full Definition 9 round.
+  ///
+  /// `contract[e]`  — the contraction choice c_e of edge e.
+  /// `node_input`   — x_v per node (consensus step).
+  /// `edge_values`  — z-choice of each surviving minor edge: given the host
+  ///                  edge id and the consensus values (y_u_side, y_v_side)
+  ///                  of the supernodes containing edge.u / edge.v, returns
+  ///                  {z_for_u_side, z_for_v_side}.
+  template <Aggregator CAgg, Aggregator XAgg>
+  RoundResult<typename CAgg::value_type, typename XAgg::value_type> round(
+      const std::vector<bool>& contract, std::span<const typename CAgg::value_type> node_input,
+      const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(
+          EdgeId, const typename CAgg::value_type&, const typename CAgg::value_type&)>&
+          edge_values) const {
+    using Y = typename CAgg::value_type;
+    using Z = typename XAgg::value_type;
+    const WeightedGraph& g = *g_;
+    UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
+    UMC_ASSERT(static_cast<NodeId>(node_input.size()) == g.n());
+
+    RoundResult<Y, Z> out;
+    out.supernode = supernodes(contract);
+
+    // Consensus step: fold x_v per supernode in node-id order.
+    std::vector<Y> y(static_cast<std::size_t>(g.n()), CAgg::identity());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const std::size_t s = static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)]);
+      y[s] = CAgg::merge(std::move(y[s]), node_input[static_cast<std::size_t>(v)]);
+    }
+    out.consensus.resize(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v)
+      out.consensus[static_cast<std::size_t>(v)] =
+          y[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])];
+
+    // Aggregation step over surviving minor edges.
+    std::vector<Z> z(static_cast<std::size_t>(g.n()), XAgg::identity());
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const Edge& ed = g.edge(e);
+      const NodeId su = out.supernode[static_cast<std::size_t>(ed.u)];
+      const NodeId sv = out.supernode[static_cast<std::size_t>(ed.v)];
+      if (su == sv) continue;  // self-loop in G', removed
+      auto [zu, zv] = edge_values(e, out.consensus[static_cast<std::size_t>(ed.u)],
+                                  out.consensus[static_cast<std::size_t>(ed.v)]);
+      z[static_cast<std::size_t>(su)] = XAgg::merge(std::move(z[static_cast<std::size_t>(su)]), std::move(zu));
+      z[static_cast<std::size_t>(sv)] = XAgg::merge(std::move(z[static_cast<std::size_t>(sv)]), std::move(zv));
+    }
+    out.aggregate.resize(static_cast<std::size_t>(g.n()));
+    for (NodeId v = 0; v < g.n(); ++v)
+      out.aggregate[static_cast<std::size_t>(v)] =
+          z[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])];
+
+    ledger_->charge(1);
+    return out;
+  }
+
+  // ---- Common one-round idioms -------------------------------------------
+
+  /// Contract ALL edges and aggregate everyone's input: each node learns
+  /// ⊕_v x_v. One round. Requires a connected graph.
+  template <Aggregator CAgg>
+  typename CAgg::value_type all_aggregate(
+      std::span<const typename CAgg::value_type> node_input) const;
+
+  /// Per-component aggregate, where components are induced by `in_part`
+  /// edges: each node learns the aggregate over its part. One round.
+  template <Aggregator CAgg>
+  std::vector<typename CAgg::value_type> part_aggregate(
+      const std::vector<bool>& in_part,
+      std::span<const typename CAgg::value_type> node_input) const;
+
+  /// One aggregation-only round: every node learns ⊗ over its incident
+  /// edges of z-values computed edge-locally (no contraction).
+  template <Aggregator XAgg>
+  std::vector<typename XAgg::value_type> neighborhood_aggregate(
+      const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(EdgeId)>&
+          edge_values) const;
+
+  /// Supernode ids (smallest contained node id) for a contraction choice;
+  /// free of charge (bookkeeping shared by round()).
+  [[nodiscard]] std::vector<NodeId> supernodes(const std::vector<bool>& contract) const;
+
+ private:
+  const WeightedGraph* g_;
+  Ledger* ledger_;
+};
+
+// ---- template implementations ---------------------------------------------
+
+template <Aggregator CAgg>
+typename CAgg::value_type Network::all_aggregate(
+    std::span<const typename CAgg::value_type> node_input) const {
+  using Y = typename CAgg::value_type;
+  const std::vector<bool> contract(static_cast<std::size_t>(g_->m()), true);
+  const auto res = round<CAgg, OrAgg>(
+      contract, node_input, [](EdgeId, const Y&, const Y&) {
+        return std::pair<std::uint8_t, std::uint8_t>{0, 0};
+      });
+  // Connectivity check: a single supernode means everyone saw every input.
+  for (const NodeId s : res.supernode)
+    UMC_ASSERT_MSG(s == res.supernode[0], "all_aggregate requires a connected graph");
+  return res.consensus.empty() ? CAgg::identity() : res.consensus[0];
+}
+
+template <Aggregator CAgg>
+std::vector<typename CAgg::value_type> Network::part_aggregate(
+    const std::vector<bool>& in_part,
+    std::span<const typename CAgg::value_type> node_input) const {
+  using Y = typename CAgg::value_type;
+  const auto res = round<CAgg, OrAgg>(
+      in_part, node_input, [](EdgeId, const Y&, const Y&) {
+        return std::pair<std::uint8_t, std::uint8_t>{0, 0};
+      });
+  return res.consensus;
+}
+
+template <Aggregator XAgg>
+std::vector<typename XAgg::value_type> Network::neighborhood_aggregate(
+    const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(EdgeId)>&
+        edge_values) const {
+  const std::vector<bool> contract(static_cast<std::size_t>(g_->m()), false);
+  const std::vector<std::uint8_t> node_input(static_cast<std::size_t>(g_->n()), 0);
+  const auto res = round<OrAgg, XAgg>(contract, node_input,
+                                      [&edge_values](EdgeId e, const std::uint8_t&,
+                                                     const std::uint8_t&) { return edge_values(e); });
+  return res.aggregate;
+}
+
+}  // namespace umc::minoragg

@@ -1,0 +1,40 @@
+#pragma once
+
+// Deterministic star-merging (Lemma 44).
+//
+// Input: an oriented graph over "parts" where every part has out-degree at
+// most 1 (O = parts with out-degree exactly 1). Output: a partition into
+// receivers R and joiners J with (1) |J| >= |O|/3, (2) J ⊆ O, and (3) every
+// joiner's out-edge points to a receiver — so merging joiners into their
+// receivers contracts star-shaped groups only.
+//
+// This replaces the randomized coin-flip star merging used throughout the
+// low-congestion shortcut framework and is what makes the Appendix A
+// primitives deterministic.
+
+#include <span>
+#include <vector>
+
+#include "minoragg/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace umc::minoragg {
+
+struct StarMergeResult {
+  std::vector<bool> is_joiner;  // per part; receivers are the complement
+  int num_joiners = 0;
+  int out_degree_one = 0;  // |O|
+};
+
+/// out[p] = out-neighbor part of p, or -1. Charges the Cole-Vishkin rounds
+/// plus one counting round.
+[[nodiscard]] StarMergeResult star_merge(std::span<const int> out, Ledger& ledger);
+
+/// The classic RANDOMIZED star merging this module derandomizes (kept for
+/// the E16 ablation): each part flips a fair coin; a part joins iff it came
+/// up "joiner" and its out-target came up "receiver". One round; E[|J|] =
+/// |O|/4, but any single round can merge nothing.
+[[nodiscard]] StarMergeResult random_star_merge(std::span<const int> out, Rng& rng,
+                                                Ledger& ledger);
+
+}  // namespace umc::minoragg

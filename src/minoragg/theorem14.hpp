@@ -1,0 +1,201 @@
+#pragma once
+
+// Literal Theorem 14 simulation: execute one Minor-Aggregation round of a
+// VIRTUAL graph using only rounds on the underlying real graph, following
+// the constructive proof step by step:
+//
+//   1. contract the real contracted edges F_real;
+//   2. beta rounds: each real supernode learns which virtual nodes it is
+//      directly connected to via contracted virtual edges (OR-consensus per
+//      virtual node), after which everyone can derive their supernode id in
+//      G_virt / F_virt locally (virtual-edge topology is globally known by
+//      the distributed-storage rules of Section 4.1);
+//   3. consensus: one round for supernodes containing no virtual node, then
+//      one contract-everything round per virtual supernode;
+//   4. aggregation: same two-phase schedule; a virtual edge is simulated by
+//      its real endpoint (or by everyone, if both endpoints are virtual).
+//
+// The measured real-round cost is O(beta + 1) per simulated round — the
+// charge `settle_virtual_execution` applies wholesale. Tests verify the
+// outputs equal a direct execution on the virtual graph, and that the cost
+// matches the bound.
+
+#include <map>
+
+#include "graph/dsu.hpp"
+#include "graph/minors.hpp"
+#include "minoragg/network.hpp"
+#include "minoragg/virtual_graph.hpp"
+
+namespace umc::minoragg {
+
+/// Result indexed by nodes of the VIRTUAL graph.
+template <typename Y, typename Z>
+struct VirtualRoundResult {
+  std::vector<Y> consensus;
+  std::vector<Z> aggregate;
+  std::vector<NodeId> supernode;  // min contained node id, virtual included
+  std::int64_t real_rounds = 0;   // measured rounds on the real graph
+};
+
+template <Aggregator CAgg, Aggregator XAgg>
+VirtualRoundResult<typename CAgg::value_type, typename XAgg::value_type>
+simulate_virtual_round(
+    const VirtualGraph& gv, const std::vector<bool>& contract,
+    std::span<const typename CAgg::value_type> node_input,
+    const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(
+        EdgeId, const typename CAgg::value_type&, const typename CAgg::value_type&)>&
+        edge_values,
+    Ledger& ledger) {
+  using Y = typename CAgg::value_type;
+  using Z = typename XAgg::value_type;
+  const WeightedGraph& vgraph = gv.graph;
+  UMC_ASSERT(static_cast<EdgeId>(contract.size()) == vgraph.m());
+  UMC_ASSERT(static_cast<NodeId>(node_input.size()) == vgraph.n());
+  const std::int64_t start = ledger.rounds();
+
+  // The real communication graph (virtual nodes and their edges removed).
+  std::vector<bool> keep(static_cast<std::size_t>(vgraph.n()));
+  for (NodeId v = 0; v < vgraph.n(); ++v) keep[static_cast<std::size_t>(v)] = !gv.is_virtual[static_cast<std::size_t>(v)];
+  const DerivedGraph real = induced_subgraph(vgraph, keep);
+  UMC_ASSERT_MSG(real.graph.n() >= 1, "the real graph must be non-empty");
+  Network net(real.graph, ledger);
+
+  // Step 1: contract F_real (real contracted edges) — id bookkeeping for
+  // the following rounds.
+  std::vector<bool> contract_real(static_cast<std::size_t>(real.graph.m()), false);
+  for (EdgeId e = 0; e < real.graph.m(); ++e)
+    contract_real[static_cast<std::size_t>(e)] =
+        contract[static_cast<std::size_t>(real.edge_origin[static_cast<std::size_t>(e)])];
+
+  // Step 2: per virtual node, one OR-consensus round: is my real supernode
+  // directly connected to it via a contracted virtual edge?
+  std::vector<NodeId> virtuals;
+  for (NodeId v = 0; v < vgraph.n(); ++v)
+    if (gv.is_virtual[static_cast<std::size_t>(v)]) virtuals.push_back(v);
+  // connected_virt[real node r][i]: r's supernode touches virtuals[i].
+  std::vector<std::vector<std::uint8_t>> connected(
+      static_cast<std::size_t>(real.graph.n()), std::vector<std::uint8_t>(virtuals.size(), 0));
+  for (std::size_t i = 0; i < virtuals.size(); ++i) {
+    std::vector<std::uint8_t> flag(static_cast<std::size_t>(real.graph.n()), 0);
+    for (EdgeId e = 0; e < vgraph.m(); ++e) {
+      if (!contract[static_cast<std::size_t>(e)]) continue;
+      const Edge& ed = vgraph.edge(e);
+      for (const auto& [a, b] : {std::pair{ed.u, ed.v}, std::pair{ed.v, ed.u}}) {
+        if (a != virtuals[i]) continue;
+        if (gv.is_virtual[static_cast<std::size_t>(b)]) continue;
+        flag[static_cast<std::size_t>(real.node_map[static_cast<std::size_t>(b)])] = 1;
+      }
+    }
+    const auto or_res = net.part_aggregate<OrAgg>(contract_real, flag);
+    for (NodeId r = 0; r < real.graph.n(); ++r)
+      connected[static_cast<std::size_t>(r)][i] = or_res[static_cast<std::size_t>(r)];
+  }
+
+  // Everyone now derives its G_virt/F_virt supernode id locally: the
+  // virtual-edge topology is globally known, so the connected-component
+  // structure over {real supernodes touching virtuals} + {virtuals under
+  // contracted virtual-virtual edges} is local knowledge. (Ground truth via
+  // DSU; the information flow above justifies it.)
+  Dsu vdsu(vgraph.n());
+  for (EdgeId e = 0; e < vgraph.m(); ++e)
+    if (contract[static_cast<std::size_t>(e)]) vdsu.unite(vgraph.edge(e).u, vgraph.edge(e).v);
+  VirtualRoundResult<Y, Z> out;
+  out.supernode.resize(static_cast<std::size_t>(vgraph.n()));
+  {
+    std::vector<NodeId> smallest(static_cast<std::size_t>(vgraph.n()), kNoNode);
+    for (NodeId v = 0; v < vgraph.n(); ++v) {
+      NodeId& slot = smallest[static_cast<std::size_t>(vdsu.find(v))];
+      if (slot == kNoNode) slot = v;
+    }
+    for (NodeId v = 0; v < vgraph.n(); ++v)
+      out.supernode[static_cast<std::size_t>(v)] =
+          smallest[static_cast<std::size_t>(vdsu.find(v))];
+  }
+  const auto has_virtual = [&](NodeId rep) {
+    for (const NodeId v : virtuals)
+      if (vdsu.same(rep, v)) return true;
+    return false;
+  };
+
+  // Step 3: consensus. Round A: supernodes without virtual nodes, on
+  // G/F_real. Rounds B: one contract-everything round per virtual
+  // supernode.
+  std::map<NodeId, Y> y_of;  // per G_virt supernode representative
+  {
+    std::vector<Y> x_real(static_cast<std::size_t>(real.graph.n()));
+    for (NodeId v = 0; v < vgraph.n(); ++v)
+      if (!gv.is_virtual[static_cast<std::size_t>(v)])
+        x_real[static_cast<std::size_t>(real.node_map[static_cast<std::size_t>(v)])] =
+            node_input[static_cast<std::size_t>(v)];
+    const auto plain = net.part_aggregate<CAgg>(contract_real, x_real);
+    for (NodeId v = 0; v < vgraph.n(); ++v) {
+      if (gv.is_virtual[static_cast<std::size_t>(v)]) continue;
+      if (!has_virtual(v)) {
+        const NodeId rep = out.supernode[static_cast<std::size_t>(v)];
+        y_of[rep] = plain[static_cast<std::size_t>(real.node_map[static_cast<std::size_t>(v)])];
+      }
+    }
+    // Per virtual supernode: contract everything, members output x, others
+    // output the identity.
+    for (const NodeId v_virt : virtuals) {
+      // Only the smallest virtual node of each supernode drives its round;
+      // the others still consume their round slot (the proof iterates over
+      // all beta virtual nodes unconditionally).
+      bool is_driver = true;
+      for (const NodeId w : virtuals)
+        if (w < v_virt && vdsu.same(w, v_virt)) is_driver = false;
+      if (!is_driver) {
+        ledger.charge(1);  // the proof still spends the round slot
+        continue;
+      }
+      std::vector<Y> x_masked(static_cast<std::size_t>(real.graph.n()), CAgg::identity());
+      Y acc = CAgg::identity();
+      for (NodeId v = 0; v < vgraph.n(); ++v) {
+        if (!vdsu.same(v, v_virt)) continue;
+        if (gv.is_virtual[static_cast<std::size_t>(v)]) {
+          acc = CAgg::merge(std::move(acc), node_input[static_cast<std::size_t>(v)]);
+        } else {
+          x_masked[static_cast<std::size_t>(real.node_map[static_cast<std::size_t>(v)])] =
+              node_input[static_cast<std::size_t>(v)];
+        }
+      }
+      const Y real_part = net.all_aggregate<CAgg>(x_masked);
+      y_of[out.supernode[static_cast<std::size_t>(v_virt)]] =
+          CAgg::merge(std::move(acc), real_part);
+    }
+  }
+  out.consensus.resize(static_cast<std::size_t>(vgraph.n()));
+  for (NodeId v = 0; v < vgraph.n(); ++v)
+    out.consensus[static_cast<std::size_t>(v)] = y_of.at(out.supernode[static_cast<std::size_t>(v)]);
+
+  // Step 4: aggregation, same schedule. Each surviving G_virt edge computes
+  // its z-pair (simulated by a real endpoint, or by everyone if both ends
+  // are virtual); fold per supernode.
+  std::map<NodeId, Z> z_of;
+  for (NodeId v = 0; v < vgraph.n(); ++v) z_of.emplace(out.supernode[static_cast<std::size_t>(v)], XAgg::identity());
+  for (EdgeId e = 0; e < vgraph.m(); ++e) {
+    const Edge& ed = vgraph.edge(e);
+    const NodeId su = out.supernode[static_cast<std::size_t>(ed.u)];
+    const NodeId sv = out.supernode[static_cast<std::size_t>(ed.v)];
+    if (su == sv) continue;
+    auto [zu, zv] = edge_values(e, out.consensus[static_cast<std::size_t>(ed.u)],
+                                out.consensus[static_cast<std::size_t>(ed.v)]);
+    auto itu = z_of.find(su);
+    itu->second = XAgg::merge(std::move(itu->second), std::move(zu));
+    auto itv = z_of.find(sv);
+    itv->second = XAgg::merge(std::move(itv->second), std::move(zv));
+  }
+  // Round accounting for the aggregation phase: one round for plain
+  // supernodes + one contract-all round per virtual supernode (the fold
+  // above is the value computation those rounds realize).
+  ledger.charge(1 + static_cast<std::int64_t>(virtuals.size()));
+  out.aggregate.resize(static_cast<std::size_t>(vgraph.n()));
+  for (NodeId v = 0; v < vgraph.n(); ++v)
+    out.aggregate[static_cast<std::size_t>(v)] = z_of.at(out.supernode[static_cast<std::size_t>(v)]);
+
+  out.real_rounds = ledger.rounds() - start;
+  return out;
+}
+
+}  // namespace umc::minoragg

@@ -1,0 +1,164 @@
+#include "minoragg/tree_primitives.hpp"
+
+#include <algorithm>
+
+#include "graph/dsu.hpp"
+#include "minoragg/star_merge.hpp"
+#include "tree/centroid.hpp"
+#include "util/math.hpp"
+
+namespace umc::minoragg {
+
+std::vector<std::vector<std::vector<NodeId>>> chains_by_hl_depth(
+    const RootedTree& t, const HeavyLightDecomposition& hld) {
+  std::vector<std::vector<std::vector<NodeId>>> chains(
+      static_cast<std::size_t>(hld.max_hl_depth()) + 1);
+  for (const NodeId v : t.preorder()) {
+    if (hld.chain_head(v) != v) continue;  // not a chain head
+    std::vector<NodeId> chain;
+    NodeId cur = v;
+    while (cur != kNoNode) {
+      chain.push_back(cur);
+      // Descend to the heavy child, if any.
+      NodeId next = kNoNode;
+      for (const NodeId c : t.children(cur)) {
+        if (hld.chain_head(c) != c) {
+          next = c;
+          break;
+        }
+      }
+      cur = next;
+    }
+    chains[static_cast<std::size_t>(hld.hl_depth(v))].push_back(std::move(chain));
+  }
+  return chains;
+}
+
+HeavyLightDecomposition hl_construct(const RootedTree& t, Ledger& ledger) {
+  const NodeId n = t.n();
+  // Lemma 47 merging schedule over the part graph: parts start as
+  // singletons; every non-root part marks its parent edge; deterministic
+  // star-merging merges >= 1/3 of the parts per iteration.
+  Dsu parts(n);
+  const std::int64_t lemma46_cost =
+      2 * (static_cast<std::int64_t>(ceil_log2(static_cast<std::uint64_t>(n) + 1)) + 2);
+  while (parts.num_components() > 1) {
+    // Build the parts graph: part -> parent part (via the part's top node).
+    std::vector<NodeId> rep_of(static_cast<std::size_t>(n), kNoNode);
+    std::vector<int> part_index;  // dense part ids
+    std::vector<NodeId> part_rep;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId r = parts.find(v);
+      if (rep_of[static_cast<std::size_t>(r)] == kNoNode) {
+        rep_of[static_cast<std::size_t>(r)] = static_cast<NodeId>(part_rep.size());
+        part_rep.push_back(r);
+      }
+    }
+    const std::size_t k = part_rep.size();
+    std::vector<int> out(k, -1);
+    // The part's top node is its minimum-depth node; its parent edge leaves
+    // the part. Compute tops by scanning (model: one subtree-sum round,
+    // charged inside lemma46_cost below).
+    std::vector<NodeId> top(k, kNoNode);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t p = static_cast<std::size_t>(rep_of[static_cast<std::size_t>(parts.find(v))]);
+      if (top[p] == kNoNode || t.depth(v) < t.depth(top[p])) top[p] = v;
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const NodeId parent = t.parent(top[p]);
+      if (parent == kNoNode) continue;  // root part marks nothing
+      out[p] = rep_of[static_cast<std::size_t>(parts.find(parent))];
+    }
+    const StarMergeResult sm = star_merge(out, ledger);
+    for (std::size_t p = 0; p < k; ++p) {
+      if (sm.is_joiner[p]) parts.unite(part_rep[p], top[static_cast<std::size_t>(out[p])]);
+    }
+    // Within-part relabeling: subtree sizes + HL-info via two Lemma 46
+    // calls on the merged parts (node-disjoint, so the cost is the max —
+    // bounded by the full-tree Lemma 46 cost charged here).
+    ledger.charge(lemma46_cost);
+    ledger.bump("hl_merge_iterations");
+  }
+  return HeavyLightDecomposition(t);
+}
+
+NodeId find_centroid_ma(const RootedTree& t, const HeavyLightDecomposition& hld,
+                        Ledger& ledger) {
+  // Lemma 42: subtree sizes via a subtree sum; each node then learns the
+  // largest child subtree in one aggregation round, and a final
+  // leader-election round picks the minimum-id centroid.
+  const std::vector<std::int64_t> ones(static_cast<std::size_t>(t.n()), 1);
+  const std::vector<std::int64_t> sizes =
+      hl_subtree_sums<SumAgg>(t, hld, ones, ledger);
+  ledger.charge(2);
+  NodeId best = kNoNode;
+  for (NodeId v = 0; v < t.n(); ++v) {
+    std::int64_t largest = t.n() - sizes[static_cast<std::size_t>(v)];
+    for (const NodeId c : t.children(v))
+      largest = std::max(largest, sizes[static_cast<std::size_t>(c)]);
+    if (2 * largest <= t.n()) {
+      if (best == kNoNode || v < best) best = v;
+    }
+  }
+  UMC_ASSERT_MSG(best != kNoNode, "every tree has a centroid (Fact 41)");
+  UMC_ASSERT(largest_component_after_removal(t, best) <= t.n() / 2);
+  return best;
+}
+
+RootedTree orient_tree(const WeightedGraph& g, std::span<const EdgeId> tree_edges, NodeId root,
+                       Ledger& ledger) {
+  const NodeId n = g.n();
+  UMC_ASSERT(root >= 0 && root < n);
+  // Adjacency restricted to tree edges, for the part graph's edge marking.
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(static_cast<std::size_t>(n));
+  for (const EdgeId e : tree_edges) {
+    adj[static_cast<std::size_t>(g.edge(e).u)].emplace_back(g.edge(e).v, e);
+    adj[static_cast<std::size_t>(g.edge(e).v)].emplace_back(g.edge(e).u, e);
+  }
+
+  Dsu parts(n);
+  const std::int64_t fix_cost =
+      2 * (static_cast<std::int64_t>(ceil_log2(static_cast<std::uint64_t>(n) + 1)) + 2);
+  while (parts.num_components() > 1) {
+    // Dense part ids.
+    std::vector<NodeId> rep_of(static_cast<std::size_t>(n), kNoNode);
+    std::vector<NodeId> part_rep;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId r = parts.find(v);
+      if (rep_of[static_cast<std::size_t>(r)] == kNoNode) {
+        rep_of[static_cast<std::size_t>(r)] = static_cast<NodeId>(part_rep.size());
+        part_rep.push_back(r);
+      }
+    }
+    const std::size_t k = part_rep.size();
+    // Each non-root part marks an ARBITRARY adjacent outgoing tree edge
+    // (the smallest-id one — deterministic); the root part marks none.
+    // Mutual marks create 2-cycles in the parts graph, which is fine.
+    std::vector<int> out(k, -1);
+    std::vector<NodeId> via(k, kNoNode);  // the neighbor node across the mark
+    const NodeId root_part = rep_of[static_cast<std::size_t>(parts.find(root))];
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t p =
+          static_cast<std::size_t>(rep_of[static_cast<std::size_t>(parts.find(v))]);
+      if (static_cast<NodeId>(p) == root_part) continue;
+      for (const auto& [to, e] : adj[static_cast<std::size_t>(v)]) {
+        if (parts.same(v, to)) continue;
+        const int target = rep_of[static_cast<std::size_t>(parts.find(to))];
+        if (out[p] == -1 || via[p] > to) {
+          out[p] = target;
+          via[p] = to;
+        }
+      }
+    }
+    const StarMergeResult sm = star_merge(out, ledger);
+    for (std::size_t p = 0; p < k; ++p)
+      if (sm.is_joiner[p]) parts.unite(part_rep[p], via[p]);
+    // Orientation fix within merged parts: reverse the root-to-attachment
+    // path (one HL construction + ancestor-sum pass, proof of Theorem 48).
+    ledger.charge(fix_cost);
+    ledger.bump("orient_merge_iterations");
+  }
+  return RootedTree(g, tree_edges, root);
+}
+
+}  // namespace umc::minoragg

@@ -1,0 +1,131 @@
+#pragma once
+
+// Deterministic tree primitives of Appendix A / Lemma 16:
+//   * heavy-light subtree and ancestor sums (Lemma 46),
+//   * deterministic heavy-light construction via star-merging (Lemma 47 /
+//     Theorem 48),
+//   * centroid finding (Lemma 42).
+//
+// Subtree/ancestor sums are implemented literally: HL-chains of equal
+// HL-depth are processed deepest-first; within one depth all chains are
+// node-disjoint and their Lemma 45 path sums run simultaneously
+// (Corollary 11 — the ledger takes the max across chains).
+//
+// The HL construction runs the real Lemma 47 merging schedule (part graph,
+// deterministic star-merging with real Cole-Vishkin rounds, joiner→receiver
+// merges) and charges each iteration's within-part relabeling at the
+// Lemma 46 cost; the labels themselves equal the reference construction's
+// (the lemma's invariant pins them up to heavy-tie-breaking, which both
+// sides break identically).
+
+#include <span>
+#include <vector>
+
+#include "minoragg/ledger.hpp"
+#include "minoragg/path_sums.hpp"
+#include "sketch/aggregators.hpp"
+#include "tree/hld.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace umc::minoragg {
+
+/// The HL-chains (maximal heavy paths) of the decomposition, grouped by
+/// HL-depth; each chain lists its nodes top-to-bottom. Bookkeeping only.
+[[nodiscard]] std::vector<std::vector<std::vector<NodeId>>> chains_by_hl_depth(
+    const RootedTree& t, const HeavyLightDecomposition& hld);
+
+/// Lemma 46 (subtree sums): s_v = fold of input over desc(v).
+template <Aggregator A>
+std::vector<typename A::value_type> hl_subtree_sums(
+    const RootedTree& t, const HeavyLightDecomposition& hld,
+    std::span<const typename A::value_type> input, Ledger& ledger) {
+  using V = typename A::value_type;
+  UMC_ASSERT(static_cast<NodeId>(input.size()) == t.n());
+  const auto chains = chains_by_hl_depth(t, hld);
+  std::vector<V> s(input.begin(), input.end());  // filled deepest-first
+  for (int d = static_cast<int>(chains.size()) - 1; d >= 0; --d) {
+    Ledger level;  // chains at one depth run simultaneously (Cor. 11)
+    std::vector<Ledger> chain_ledgers;
+    for (const std::vector<NodeId>& chain : chains[static_cast<std::size_t>(d)]) {
+      // x_v = input_v ⊕ (already-computed sums of non-heavy children).
+      std::vector<V> x;
+      x.reserve(chain.size());
+      for (const NodeId v : chain) {
+        V acc = input[static_cast<std::size_t>(v)];
+        for (const NodeId c : t.children(v)) {
+          if (hld.chain_head(c) == c)  // non-heavy child: starts its own chain
+            acc = A::merge(std::move(acc), s[static_cast<std::size_t>(c)]);
+        }
+        x.push_back(std::move(acc));
+      }
+      Ledger cl;
+      cl.charge(1);  // the x_v initialization round (edge-local pass)
+      std::vector<V> suf = path_suffix_sums<A>(std::span<const V>(x), cl);
+      for (std::size_t i = 0; i < chain.size(); ++i)
+        s[static_cast<std::size_t>(chain[i])] = std::move(suf[i]);
+      chain_ledgers.push_back(std::move(cl));
+    }
+    level.charge_parallel(chain_ledgers);
+    ledger.charge_sequential(level);
+  }
+  return s;
+}
+
+/// Lemma 46 (ancestor sums): p_v = fold of input over anc(v) (v included).
+template <Aggregator A>
+std::vector<typename A::value_type> hl_ancestor_sums(
+    const RootedTree& t, const HeavyLightDecomposition& hld,
+    std::span<const typename A::value_type> input, Ledger& ledger) {
+  using V = typename A::value_type;
+  UMC_ASSERT(static_cast<NodeId>(input.size()) == t.n());
+  const auto chains = chains_by_hl_depth(t, hld);
+  std::vector<V> p(static_cast<std::size_t>(t.n()), A::identity());
+  for (std::size_t d = 0; d < chains.size(); ++d) {
+    Ledger level;
+    std::vector<Ledger> chain_ledgers;
+    for (const std::vector<NodeId>& chain : chains[d]) {
+      // Carry = ancestor sum of the chain head's parent (shallower depth,
+      // already computed).
+      const NodeId head = chain.front();
+      const NodeId above = t.parent(head);
+      std::vector<V> x;
+      x.reserve(chain.size());
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        V val = input[static_cast<std::size_t>(chain[i])];
+        if (i == 0 && above != kNoNode)
+          val = A::merge(p[static_cast<std::size_t>(above)], std::move(val));
+        x.push_back(std::move(val));
+      }
+      Ledger cl;
+      cl.charge(1);
+      std::vector<V> pre = path_prefix_sums<A>(std::span<const V>(x), cl);
+      for (std::size_t i = 0; i < chain.size(); ++i)
+        p[static_cast<std::size_t>(chain[i])] = std::move(pre[i]);
+      chain_ledgers.push_back(std::move(cl));
+    }
+    level.charge_parallel(chain_ledgers);
+    ledger.charge_sequential(level);
+  }
+  return p;
+}
+
+/// Lemma 47 / Theorem 48: deterministic heavy-light construction. Runs the
+/// real merging schedule (star merges over the part graph) for round
+/// accounting and returns the decomposition. Counters:
+/// "hl_merge_iterations", "cv_iterations".
+[[nodiscard]] HeavyLightDecomposition hl_construct(const RootedTree& t, Ledger& ledger);
+
+/// Lemma 42: centroid via one subtree-sum plus two constant rounds.
+[[nodiscard]] NodeId find_centroid_ma(const RootedTree& t, const HeavyLightDecomposition& hld,
+                                      Ledger& ledger);
+
+/// Theorem 48: orient an UNROOTED tree toward `root` and build the rooted
+/// structure. Runs the real merging schedule — each part marks an ARBITRARY
+/// adjacent outgoing edge (2-cycles possible, which the Cole-Vishkin star
+/// merging tolerates), joiners merge into receivers, and each iteration
+/// pays the orientation-fix + relabel cost of the proof. Counter:
+/// "orient_merge_iterations".
+[[nodiscard]] RootedTree orient_tree(const WeightedGraph& g, std::span<const EdgeId> tree_edges,
+                                     NodeId root, Ledger& ledger);
+
+}  // namespace umc::minoragg

@@ -1,0 +1,31 @@
+#include "minoragg/virtual_graph.hpp"
+
+#include <map>
+
+namespace umc::minoragg {
+
+VirtualGraph virtualize_node(const VirtualGraph& g, NodeId v, Ledger& ledger) {
+  UMC_ASSERT(v >= 0 && v < g.graph.n());
+  VirtualGraph out;
+  out.graph = WeightedGraph(g.graph.n());
+  out.is_virtual = g.is_virtual;
+  out.is_virtual[static_cast<std::size_t>(v)] = true;
+
+  // Edges not touching v are copied; edges to v merge per neighbor.
+  std::map<NodeId, Weight> merged;
+  for (const Edge& e : g.graph.edges()) {
+    if (e.u != v && e.v != v) {
+      out.graph.add_edge(e.u, e.v, e.w);
+    } else {
+      merged[e.other(v)] += e.w;
+    }
+  }
+  for (const auto& [u, w] : merged) out.graph.add_edge(u, v, w);
+
+  // Lemma 15: one broadcast round (everyone learns v's id) plus one
+  // aggregation round (each neighbor sums its edges toward v).
+  ledger.charge(2);
+  return out;
+}
+
+}  // namespace umc::minoragg

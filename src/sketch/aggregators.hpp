@@ -1,0 +1,82 @@
+#pragma once
+
+// Aggregation operators (Definition 7).
+//
+// An aggregation operator combines two Õ(1)-bit messages into one; the
+// Minor-Aggregation simulator folds node/edge values with them. Commutative
+// and associative operators (sum, min, max, or) give order-independent
+// results; mergeable sketches (Misra-Gries, bounded ancestor maps) are also
+// valid operators whose output may depend on the fold order but whose
+// *guarantees* do not (Section 3.3.1).
+//
+// An Aggregator is any type with:
+//   using value_type = ...;
+//   static value_type identity();
+//   static value_type merge(value_type, value_type);
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace umc {
+
+template <typename A>
+concept Aggregator = requires(typename A::value_type x, typename A::value_type y) {
+  { A::identity() } -> std::convertible_to<typename A::value_type>;
+  { A::merge(std::move(x), std::move(y)) } -> std::convertible_to<typename A::value_type>;
+};
+
+struct SumAgg {
+  using value_type = std::int64_t;
+  static value_type identity() { return 0; }
+  static value_type merge(value_type a, value_type b) { return a + b; }
+};
+
+struct MinAgg {
+  using value_type = std::int64_t;
+  static value_type identity() { return std::numeric_limits<std::int64_t>::max(); }
+  static value_type merge(value_type a, value_type b) { return std::min(a, b); }
+};
+
+struct MaxAgg {
+  using value_type = std::int64_t;
+  static value_type identity() { return std::numeric_limits<std::int64_t>::min(); }
+  static value_type merge(value_type a, value_type b) { return std::max(a, b); }
+};
+
+// Note: value_type is uint8 rather than bool so that per-node inputs can be
+// held in a contiguous std::vector viewable as std::span (vector<bool> has
+// no data()).
+struct OrAgg {
+  using value_type = std::uint8_t;
+  static value_type identity() { return 0; }
+  static value_type merge(value_type a, value_type b) { return (a || b) ? 1 : 0; }
+};
+
+struct AndAgg {
+  using value_type = std::uint8_t;
+  static value_type identity() { return 1; }
+  static value_type merge(value_type a, value_type b) { return (a && b) ? 1 : 0; }
+};
+
+/// (value, tag) minimum — e.g. "minimum weight outgoing edge and its id"
+/// in Borůvka, or leader election by minimum id.
+struct MinPairAgg {
+  using value_type = std::pair<std::int64_t, std::int64_t>;
+  static value_type identity() {
+    return {std::numeric_limits<std::int64_t>::max(), std::numeric_limits<std::int64_t>::max()};
+  }
+  static value_type merge(value_type a, value_type b) { return std::min(a, b); }
+};
+
+static_assert(Aggregator<SumAgg>);
+static_assert(Aggregator<MinAgg>);
+static_assert(Aggregator<MaxAgg>);
+static_assert(Aggregator<OrAgg>);
+static_assert(Aggregator<AndAgg>);
+static_assert(Aggregator<MinPairAgg>);
+
+}  // namespace umc

@@ -1,0 +1,21 @@
+#include "tree/centroid.hpp"
+
+#include <algorithm>
+
+namespace umc {
+
+NodeId largest_component_after_removal(const RootedTree& t, NodeId v) {
+  NodeId largest = t.n() - t.subtree_size(v);  // the "above" component
+  for (const NodeId c : t.children(v)) largest = std::max(largest, t.subtree_size(c));
+  return largest;
+}
+
+NodeId find_centroid(const RootedTree& t) {
+  for (const NodeId v : t.preorder()) {
+    if (largest_component_after_removal(t, v) <= t.n() / 2) return v;
+  }
+  UMC_ASSERT_MSG(false, "every tree has a centroid (Fact 41)");
+  return kNoNode;
+}
+
+}  // namespace umc

@@ -1,0 +1,18 @@
+#pragma once
+
+// Tree centroid (Fact 41): a node whose removal leaves components of size
+// <= |V(T)|/2. Centralized reference; the Minor-Aggregation version
+// (Lemma 42) lives in minoragg/tree_primitives.
+
+#include "tree/rooted_tree.hpp"
+
+namespace umc {
+
+/// Returns a centroid of the tree. For trees with two centroids (even paths)
+/// the one with the smaller preorder index is returned, deterministically.
+[[nodiscard]] NodeId find_centroid(const RootedTree& t);
+
+/// Size of the largest component of T - v.
+[[nodiscard]] NodeId largest_component_after_removal(const RootedTree& t, NodeId v);
+
+}  // namespace umc

@@ -1,0 +1,101 @@
+#include "tree/hld.hpp"
+
+#include <algorithm>
+
+namespace umc {
+
+HeavyLightDecomposition::HeavyLightDecomposition(const RootedTree& t) : t_(&t) {
+  const NodeId n = t.n();
+  heavy_child_.assign(static_cast<std::size_t>(n), kNoNode);
+  hl_depth_.assign(static_cast<std::size_t>(n), 0);
+  head_.assign(static_cast<std::size_t>(n), kNoNode);
+  info_.assign(static_cast<std::size_t>(n), HlInfo{});
+
+  // Heavy child: the child with the largest subtree (ties by first in child
+  // order, matching "breaking ties arbitrarily").
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId best = kNoNode;
+    NodeId best_size = 0;
+    for (const NodeId c : t.children(v)) {
+      if (t.subtree_size(c) > best_size) {
+        best_size = t.subtree_size(c);
+        best = c;
+      }
+    }
+    heavy_child_[static_cast<std::size_t>(v)] = best;
+  }
+
+  // Propagate hl-depth / head / HL-info down the preorder.
+  for (const NodeId v : t.preorder()) {
+    const NodeId p = t.parent(v);
+    if (p == kNoNode) {
+      hl_depth_[static_cast<std::size_t>(v)] = 0;
+      head_[static_cast<std::size_t>(v)] = v;
+      info_[static_cast<std::size_t>(v)] = HlInfo{0, {}};
+      continue;
+    }
+    const bool heavy = heavy_child_[static_cast<std::size_t>(p)] == v;
+    HlInfo inf = info_[static_cast<std::size_t>(p)];
+    inf.depth = t.depth(v);
+    if (heavy) {
+      hl_depth_[static_cast<std::size_t>(v)] = hl_depth_[static_cast<std::size_t>(p)];
+      head_[static_cast<std::size_t>(v)] = head_[static_cast<std::size_t>(p)];
+    } else {
+      hl_depth_[static_cast<std::size_t>(v)] = hl_depth_[static_cast<std::size_t>(p)] + 1;
+      head_[static_cast<std::size_t>(v)] = v;
+      inf.light_edges.push_back(LightEdge{p, v, t.depth(p), t.depth(v)});
+    }
+    info_[static_cast<std::size_t>(v)] = std::move(inf);
+    max_hl_depth_ = std::max(max_hl_depth_, hl_depth_[static_cast<std::size_t>(v)]);
+  }
+}
+
+bool HeavyLightDecomposition::is_heavy(EdgeId e) const {
+  const NodeId b = t_->bottom(e);
+  return heavy_child_[static_cast<std::size_t>(t_->parent(b))] == b;
+}
+
+EdgeId HeavyLightDecomposition::hl_path_id(EdgeId e) const {
+  const NodeId h = chain_head(t_->bottom(e));
+  return t_->parent_edge(h);  // kNoEdge for the root chain
+}
+
+namespace {
+/// The node where x's root path leaves the common heavy chain: top of the
+/// first non-common light edge, or x itself if none remains.
+struct Divergence {
+  NodeId node;
+  int depth;
+};
+
+Divergence divergence(NodeId x, const HlInfo& ix, std::size_t common_prefix) {
+  if (common_prefix < ix.light_edges.size()) {
+    const LightEdge& l = ix.light_edges[common_prefix];
+    return Divergence{l.top, l.top_depth};
+  }
+  return Divergence{x, ix.depth};
+}
+}  // namespace
+
+NodeId HeavyLightDecomposition::lca_from_info(NodeId u, const HlInfo& iu, NodeId v,
+                                              const HlInfo& iv) {
+  std::size_t k = 0;
+  const std::size_t limit = std::min(iu.light_edges.size(), iv.light_edges.size());
+  while (k < limit && iu.light_edges[k] == iv.light_edges[k]) ++k;
+  const Divergence du = divergence(u, iu, k);
+  const Divergence dv = divergence(v, iv, k);
+  // Both divergence points lie on the same descending heavy chain; the
+  // shallower one is the LCA.
+  return du.depth <= dv.depth ? du.node : dv.node;
+}
+
+int HeavyLightDecomposition::lca_depth_from_info(const HlInfo& iu, const HlInfo& iv) {
+  std::size_t k = 0;
+  const std::size_t limit = std::min(iu.light_edges.size(), iv.light_edges.size());
+  while (k < limit && iu.light_edges[k] == iv.light_edges[k]) ++k;
+  const int depth_u = k < iu.light_edges.size() ? iu.light_edges[k].top_depth : iu.depth;
+  const int depth_v = k < iv.light_edges.size() ? iv.light_edges[k].top_depth : iv.depth;
+  return std::min(depth_u, depth_v);
+}
+
+}  // namespace umc

@@ -1,0 +1,51 @@
+#include "tree/lca.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace umc {
+
+LcaOracle::LcaOracle(const RootedTree& t) : t_(&t) {
+  const NodeId n = t.n();
+  log_ = std::max(1, ceil_log2(static_cast<std::uint64_t>(n)) + 1);
+  up_.assign(static_cast<std::size_t>(log_),
+             std::vector<NodeId>(static_cast<std::size_t>(n), kNoNode));
+  for (NodeId v = 0; v < n; ++v) up_[0][static_cast<std::size_t>(v)] = t.parent(v);
+  for (int j = 1; j < log_; ++j) {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId mid = up_[static_cast<std::size_t>(j - 1)][static_cast<std::size_t>(v)];
+      up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)] =
+          mid == kNoNode ? kNoNode : up_[static_cast<std::size_t>(j - 1)][static_cast<std::size_t>(mid)];
+    }
+  }
+}
+
+NodeId LcaOracle::kth_ancestor(NodeId v, int k) const {
+  for (int j = 0; j < log_ && v != kNoNode; ++j)
+    if ((k >> j) & 1) v = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)];
+  return v;
+}
+
+NodeId LcaOracle::lca(NodeId u, NodeId v) const {
+  const RootedTree& t = *t_;
+  if (t.depth(u) < t.depth(v)) std::swap(u, v);
+  u = kth_ancestor(u, t.depth(u) - t.depth(v));
+  if (u == v) return u;
+  for (int j = log_ - 1; j >= 0; --j) {
+    const NodeId pu = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(u)];
+    const NodeId pv = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)];
+    if (pu != pv) {
+      u = pu;
+      v = pv;
+    }
+  }
+  return t.parent(u);
+}
+
+int LcaOracle::distance(NodeId u, NodeId v) const {
+  const NodeId l = lca(u, v);
+  return t_->depth(u) + t_->depth(v) - 2 * t_->depth(l);
+}
+
+}  // namespace umc

@@ -1,0 +1,33 @@
+#pragma once
+
+// Lowest-common-ancestor queries via binary lifting.
+//
+// This is the centralized reference oracle; the distributed algorithms use
+// the HL-info labeling scheme (Fact 4, see tree/hld.hpp) instead, and tests
+// cross-check the two.
+
+#include <vector>
+
+#include "tree/rooted_tree.hpp"
+
+namespace umc {
+
+class LcaOracle {
+ public:
+  explicit LcaOracle(const RootedTree& t);
+
+  [[nodiscard]] NodeId lca(NodeId u, NodeId v) const;
+
+  /// k-th ancestor of v (0 = v itself); kNoNode if above the root.
+  [[nodiscard]] NodeId kth_ancestor(NodeId v, int k) const;
+
+  /// Hop distance between u and v in the tree.
+  [[nodiscard]] int distance(NodeId u, NodeId v) const;
+
+ private:
+  const RootedTree* t_;
+  int log_;
+  std::vector<std::vector<NodeId>> up_;  // up_[j][v] = 2^j-th ancestor
+};
+
+}  // namespace umc

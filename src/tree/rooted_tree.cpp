@@ -1,0 +1,72 @@
+#include "tree/rooted_tree.hpp"
+
+#include <algorithm>
+
+namespace umc {
+
+RootedTree::RootedTree(const WeightedGraph& g, std::span<const EdgeId> tree_edges, NodeId root)
+    : g_(&g), root_(root), tree_edges_(tree_edges.begin(), tree_edges.end()) {
+  const NodeId n = g.n();
+  UMC_ASSERT(root >= 0 && root < n);
+  UMC_ASSERT_MSG(static_cast<NodeId>(tree_edges_.size()) == n - 1,
+                 "a spanning tree has exactly n-1 edges");
+  is_tree_edge_.assign(static_cast<std::size_t>(g.m()), false);
+  for (const EdgeId e : tree_edges_) {
+    UMC_ASSERT(e >= 0 && e < g.m());
+    UMC_ASSERT_MSG(!is_tree_edge_[static_cast<std::size_t>(e)], "duplicate tree edge");
+    is_tree_edge_[static_cast<std::size_t>(e)] = true;
+  }
+
+  parent_.assign(static_cast<std::size_t>(n), kNoNode);
+  parent_edge_.assign(static_cast<std::size_t>(n), kNoEdge);
+  depth_.assign(static_cast<std::size_t>(n), -1);
+  children_.assign(static_cast<std::size_t>(n), {});
+  subtree_size_.assign(static_cast<std::size_t>(n), 1);
+  tin_.assign(static_cast<std::size_t>(n), -1);
+  tout_.assign(static_cast<std::size_t>(n), -1);
+  preorder_.clear();
+  preorder_.reserve(static_cast<std::size_t>(n));
+
+  // Iterative DFS over tree edges only.
+  depth_[idx(root)] = 0;
+  std::vector<NodeId> stack = {root};
+  int time = 0;
+  std::vector<std::size_t> adj_pos(static_cast<std::size_t>(n), 0);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    if (adj_pos[idx(v)] == 0) {
+      tin_[idx(v)] = time++;
+      preorder_.push_back(v);
+    }
+    bool descended = false;
+    auto adj = g.adj(v);
+    for (std::size_t& i = adj_pos[idx(v)]; i < adj.size(); ++i) {
+      const AdjEntry& a = adj[i];
+      if (!is_tree_edge_[static_cast<std::size_t>(a.edge)]) continue;
+      if (depth_[idx(a.to)] != -1) continue;  // parent or already visited
+      depth_[idx(a.to)] = depth_[idx(v)] + 1;
+      parent_[idx(a.to)] = v;
+      parent_edge_[idx(a.to)] = a.edge;
+      children_[idx(v)].push_back(a.to);
+      stack.push_back(a.to);
+      ++i;
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      tout_[idx(v)] = time++;
+      stack.pop_back();
+      if (parent_[idx(v)] != kNoNode) subtree_size_[idx(parent_[idx(v)])] += subtree_size_[idx(v)];
+    }
+  }
+  UMC_ASSERT_MSG(static_cast<NodeId>(preorder_.size()) == n,
+                 "tree edges do not span the graph");
+}
+
+NodeId RootedTree::bottom(EdgeId e) const {
+  UMC_ASSERT_MSG(is_tree_edge(e), "bottom() requires a tree edge");
+  const Edge& ed = host().edge(e);
+  return depth(ed.u) > depth(ed.v) ? ed.u : ed.v;
+}
+
+}  // namespace umc

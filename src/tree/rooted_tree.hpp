@@ -1,0 +1,72 @@
+#pragma once
+
+// Rooted spanning trees over a host graph.
+//
+// A RootedTree is always a spanning tree of its host WeightedGraph: the
+// 2-respecting machinery (Sections 5–9) builds a fresh instance graph per
+// recursive call, so "tree over a node subset" never arises.
+//
+// Terminology matches Section 3: parent/child, top(e)/bottom(e), depth,
+// subtree, ancestors/descendants, descending paths.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace umc {
+
+class RootedTree {
+ public:
+  /// Builds from `n-1` tree edge ids that form a spanning tree of `g`.
+  RootedTree(const WeightedGraph& g, std::span<const EdgeId> tree_edges, NodeId root);
+
+  [[nodiscard]] const WeightedGraph& host() const { return *g_; }
+  [[nodiscard]] NodeId n() const { return static_cast<NodeId>(parent_.size()); }
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] std::span<const EdgeId> tree_edges() const { return tree_edges_; }
+
+  /// kNoNode for the root.
+  [[nodiscard]] NodeId parent(NodeId v) const { return parent_[idx(v)]; }
+  /// Edge id (in the host graph) to the parent; kNoEdge for the root.
+  [[nodiscard]] EdgeId parent_edge(NodeId v) const { return parent_edge_[idx(v)]; }
+  [[nodiscard]] int depth(NodeId v) const { return depth_[idx(v)]; }
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const { return children_[idx(v)]; }
+  [[nodiscard]] NodeId subtree_size(NodeId v) const { return subtree_size_[idx(v)]; }
+
+  /// Nodes in preorder (root first); children in host-adjacency order.
+  [[nodiscard]] std::span<const NodeId> preorder() const { return preorder_; }
+
+  /// True iff a is an ancestor of b (a == b counts; Section 3 convention).
+  [[nodiscard]] bool is_ancestor(NodeId a, NodeId b) const {
+    return tin_[idx(a)] <= tin_[idx(b)] && tout_[idx(b)] <= tout_[idx(a)];
+  }
+
+  /// True iff `e` (a host edge id) is one of this tree's edges.
+  [[nodiscard]] bool is_tree_edge(EdgeId e) const { return is_tree_edge_[static_cast<std::size_t>(e)]; }
+
+  /// bottom(e): the endpoint farther from the root. Requires a tree edge.
+  [[nodiscard]] NodeId bottom(EdgeId e) const;
+  /// top(e): the endpoint closer to the root. Requires a tree edge.
+  [[nodiscard]] NodeId top(EdgeId e) const { return host().edge(e).other(bottom(e)); }
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId v) const {
+    UMC_ASSERT(v >= 0 && v < n());
+    return static_cast<std::size_t>(v);
+  }
+
+  const WeightedGraph* g_;
+  NodeId root_;
+  std::vector<EdgeId> tree_edges_;
+  std::vector<bool> is_tree_edge_;
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<int> depth_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> subtree_size_;
+  std::vector<NodeId> preorder_;
+  std::vector<int> tin_, tout_;
+};
+
+}  // namespace umc

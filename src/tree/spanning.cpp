@@ -1,0 +1,89 @@
+#include "tree/spanning.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/dsu.hpp"
+
+namespace umc {
+
+std::vector<EdgeId> bfs_spanning_tree(const WeightedGraph& g, NodeId root) {
+  UMC_ASSERT(root >= 0 && root < g.n());
+  std::vector<bool> seen(static_cast<std::size_t>(g.n()), false);
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<std::size_t>(g.n()) - 1);
+  std::queue<NodeId> q;
+  seen[static_cast<std::size_t>(root)] = true;
+  q.push(root);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const AdjEntry& a : g.adj(v)) {
+      if (seen[static_cast<std::size_t>(a.to)]) continue;
+      seen[static_cast<std::size_t>(a.to)] = true;
+      tree.push_back(a.edge);
+      q.push(a.to);
+    }
+  }
+  UMC_ASSERT_MSG(static_cast<NodeId>(tree.size()) == g.n() - 1, "graph must be connected");
+  return tree;
+}
+
+std::vector<EdgeId> kruskal_mst(const WeightedGraph& g, std::span<const double> cost) {
+  UMC_ASSERT(static_cast<EdgeId>(cost.size()) == g.m());
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.m()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&cost](EdgeId a, EdgeId b) {
+    const double ca = cost[static_cast<std::size_t>(a)];
+    const double cb = cost[static_cast<std::size_t>(b)];
+    return ca != cb ? ca < cb : a < b;
+  });
+  Dsu dsu(g.n());
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<std::size_t>(g.n()) - 1);
+  for (const EdgeId e : order) {
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+  }
+  UMC_ASSERT_MSG(static_cast<NodeId>(tree.size()) == g.n() - 1, "graph must be connected");
+  return tree;
+}
+
+std::vector<EdgeId> kruskal_mst(const WeightedGraph& g) {
+  std::vector<double> cost(static_cast<std::size_t>(g.m()));
+  for (EdgeId e = 0; e < g.m(); ++e)
+    cost[static_cast<std::size_t>(e)] = static_cast<double>(g.edge(e).w);
+  return kruskal_mst(g, cost);
+}
+
+std::vector<EdgeId> wilson_random_spanning_tree(const WeightedGraph& g, Rng& rng) {
+  const NodeId n = g.n();
+  UMC_ASSERT(n >= 1);
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+  std::vector<EdgeId> next_edge(static_cast<std::size_t>(n), kNoEdge);
+  in_tree[0] = true;
+  std::vector<EdgeId> tree;
+  for (NodeId start = 1; start < n; ++start) {
+    if (in_tree[static_cast<std::size_t>(start)]) continue;
+    // Random walk from `start` until hitting the tree, recording last exits.
+    NodeId v = start;
+    while (!in_tree[static_cast<std::size_t>(v)]) {
+      const auto adj = g.adj(v);
+      UMC_ASSERT_MSG(!adj.empty(), "graph must be connected");
+      const AdjEntry& a = adj[static_cast<std::size_t>(rng.next_below(adj.size()))];
+      next_edge[static_cast<std::size_t>(v)] = a.edge;
+      v = a.to;
+    }
+    // Retrace the loop-erased walk and add it to the tree.
+    v = start;
+    while (!in_tree[static_cast<std::size_t>(v)]) {
+      in_tree[static_cast<std::size_t>(v)] = true;
+      const EdgeId e = next_edge[static_cast<std::size_t>(v)];
+      tree.push_back(e);
+      v = g.edge(e).other(v);
+    }
+  }
+  return tree;
+}
+
+}  // namespace umc

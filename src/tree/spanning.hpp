@@ -1,0 +1,32 @@
+#pragma once
+
+// Spanning-tree constructions over a host graph: BFS trees (round-efficient
+// communication backbones), Kruskal minimum spanning trees with arbitrary
+// per-edge costs (the greedy tree-packing of Theorem 12 re-costs edges by
+// packing load each iteration), and uniform random spanning trees (Wilson)
+// for randomized tests.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+
+/// Edge ids of a BFS spanning tree rooted at `root`. Requires connectivity.
+[[nodiscard]] std::vector<EdgeId> bfs_spanning_tree(const WeightedGraph& g, NodeId root);
+
+/// Kruskal MST edge ids under external per-edge costs (ties by edge id, so
+/// the result is deterministic). `cost.size() == g.m()`.
+[[nodiscard]] std::vector<EdgeId> kruskal_mst(const WeightedGraph& g,
+                                              std::span<const double> cost);
+
+/// Kruskal MST under the graph's own weights.
+[[nodiscard]] std::vector<EdgeId> kruskal_mst(const WeightedGraph& g);
+
+/// Uniform random spanning tree via Wilson's algorithm (loop-erased random
+/// walks). Ignores weights. Requires connectivity.
+[[nodiscard]] std::vector<EdgeId> wilson_random_spanning_tree(const WeightedGraph& g, Rng& rng);
+
+}  // namespace umc

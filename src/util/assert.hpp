@@ -1,0 +1,42 @@
+#pragma once
+
+// Lightweight always-on assertion machinery.
+//
+// Simulation code validates model invariants (e.g. "a Minor-Aggregation
+// message fits in its bit budget", "an instance tree is connected") even in
+// release builds: a silent invariant violation would corrupt the measured
+// round counts that the experiments report.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace umc {
+
+/// Thrown when a model or algorithm invariant is violated.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace umc
+
+#define UMC_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::umc::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define UMC_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::umc::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

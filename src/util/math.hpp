@@ -1,0 +1,44 @@
+#pragma once
+
+// Small integer-math helpers shared across subsystems.
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace umc {
+
+/// floor(log2(x)) for x >= 1.
+inline int floor_log2(std::uint64_t x) {
+  UMC_ASSERT(x >= 1);
+  return 63 - __builtin_clzll(x);
+}
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+inline int ceil_log2(std::uint64_t x) {
+  UMC_ASSERT(x >= 1);
+  return x == 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// Integer square root: largest r with r*r <= x.
+inline std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(__builtin_sqrt(static_cast<double>(x)));
+  while (r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+/// log*(n): iterated-logarithm, the Cole-Vishkin iteration count driver.
+inline int log_star(std::uint64_t n) {
+  int k = 0;
+  double x = static_cast<double>(n);
+  while (x > 1.0) {
+    x = __builtin_log2(x);
+    ++k;
+    if (k > 8) break;  // log* is <= 5 for any physical input
+  }
+  return k;
+}
+
+}  // namespace umc

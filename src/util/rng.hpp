@@ -1,0 +1,51 @@
+#pragma once
+
+// Deterministic, seedable pseudo-random generator (xoshiro256**).
+//
+// Experiments must be bit-reproducible across runs and platforms, so the
+// library never uses std::random_device or unspecified std:: distribution
+// implementations; integer draws below are fully specified.
+
+#include <cstdint>
+#include <vector>
+
+namespace umc {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). bound must be > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double next_real();
+
+  /// Bernoulli(p) draw.
+  bool next_bool(double p = 0.5);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Independent child generator (for parallel deterministic streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace umc

@@ -1,0 +1,133 @@
+// Property tests for the cut-equivalent constructions at the heart of
+// Sections 6 and 9: absorbing a region of the graph into a boundary /
+// virtual node (remap_graph) preserves Cut(e, f) for every pair of
+// surviving tree edges — Facts 24/25 and Lemma 43, checked against the
+// reference cut machinery on random instances.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "mincut/cut_values.hpp"
+#include "mincut/instance.hpp"
+#include "tree/centroid.hpp"
+#include "tree/rooted_tree.hpp"
+#include "tree/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace umc::mincut {
+namespace {
+
+TEST(CutEquivalence, Lemma43BranchGraphsPreserveAllPairs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 12; ++trial) {
+    const NodeId n = 12 + static_cast<NodeId>(rng.next_below(25));
+    WeightedGraph g = random_connected(n, 3 * n, rng);
+    randomize_weights(g, 1, 20, rng);
+    const auto tree = bfs_spanning_tree(g, 0);
+    // Root at the centroid, as the Section 9 recursion does.
+    const RootedTree t0(g, tree, 0);
+    const NodeId c = find_centroid(t0);
+    const RootedTree tc(g, tree, c);
+    if (tc.children(c).empty()) continue;
+
+    std::vector<EdgeId> origin(static_cast<std::size_t>(g.m()));
+    std::iota(origin.begin(), origin.end(), EdgeId{0});
+
+    for (const NodeId child : tc.children(c)) {
+      // Build H_i exactly as two_respect does: branch nodes keep their
+      // identity, everything else maps to the virtual centroid (node 0).
+      std::vector<NodeId> map(static_cast<std::size_t>(g.n()), 0);
+      std::vector<NodeId> members;
+      for (const NodeId v : tc.preorder()) {
+        if (!tc.is_ancestor(child, v)) continue;
+        map[static_cast<std::size_t>(v)] = static_cast<NodeId>(1 + members.size());
+        members.push_back(v);
+      }
+      const RemappedGraph rg =
+          remap_graph(g, origin, map, static_cast<NodeId>(1 + members.size()));
+      std::vector<EdgeId> sub_tree;
+      for (const EdgeId e : tree) {
+        const EdgeId mapped = rg.edge_map[static_cast<std::size_t>(e)];
+        if (mapped != kNoEdge) sub_tree.push_back(mapped);
+      }
+      const RootedTree ts(rg.graph, sub_tree, 0);
+
+      // Lemma 43 (3): Cut_{T'_i, H_i}(e, f) == Cut_{T, G}(e, f) for every
+      // pair of surviving tree edges (including e == f).
+      for (std::size_t i = 0; i < sub_tree.size(); ++i) {
+        for (std::size_t j = i; j < sub_tree.size(); ++j) {
+          const EdgeId se = sub_tree[i], sf = sub_tree[j];
+          const EdgeId oe = rg.origin[static_cast<std::size_t>(se)];
+          const EdgeId of = rg.origin[static_cast<std::size_t>(sf)];
+          ASSERT_EQ(reference_cut_pair(ts, se, sf), reference_cut_pair(tc, oe, of))
+              << "trial " << trial << " pair (" << oe << "," << of << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(CutEquivalence, Fact25StyleDownRegionAbsorption) {
+  // Double broom: absorb the upper halves of both paths (and the root) into
+  // a fresh virtual root; the lower-pair cut values must be unchanged.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId len = 10;
+    WeightedGraph g = double_broom(len, 40, rng);
+    randomize_weights(g, 1, 15, rng);
+    std::vector<EdgeId> tree(static_cast<std::size_t>(2 * len));
+    std::iota(tree.begin(), tree.end(), EdgeId{0});
+    const RootedTree t(g, tree, 0);
+
+    const NodeId a = 4, b = 6;  // keep P nodes a.., Q nodes b.. (1-indexed)
+    std::vector<NodeId> map(static_cast<std::size_t>(g.n()), 0);
+    NodeId next = 1;
+    std::vector<NodeId> kept;
+    for (NodeId i = a; i < len; ++i) {  // nodesP = 1..len
+      map[static_cast<std::size_t>(1 + i)] = next++;
+      kept.push_back(1 + i);
+    }
+    for (NodeId j = b; j < len; ++j) {  // nodesQ = len+1..2len
+      map[static_cast<std::size_t>(len + 1 + j)] = next++;
+      kept.push_back(len + 1 + j);
+    }
+    std::vector<EdgeId> origin(static_cast<std::size_t>(g.m()));
+    std::iota(origin.begin(), origin.end(), EdgeId{0});
+    RemappedGraph rg = remap_graph(g, origin, map, next);
+    // Synthetic connectors r_down -> tops (weight never counted for pairs).
+    std::vector<EdgeId> sub_tree;
+    sub_tree.push_back(rg.graph.add_edge(0, map[static_cast<std::size_t>(1 + a)], 1));
+    rg.origin.push_back(kNoEdge);
+    sub_tree.push_back(rg.graph.add_edge(0, map[static_cast<std::size_t>(len + 1 + b)], 1));
+    rg.origin.push_back(kNoEdge);
+    // Only INTERIOR tree edges stay tree edges; the boundary edges e_a/f_b
+    // survive the remap as plain (non-tree) edges parallel to the
+    // connectors, exactly as in the Lemma 23 construction.
+    for (const EdgeId e : tree) {
+      const EdgeId mapped = rg.edge_map[static_cast<std::size_t>(e)];
+      if (mapped == kNoEdge) continue;
+      const bool interior_p = e >= static_cast<EdgeId>(a + 1) && e < static_cast<EdgeId>(len);
+      const bool interior_q = e >= static_cast<EdgeId>(len + b + 1);
+      if (interior_p || interior_q) sub_tree.push_back(mapped);
+    }
+    const RootedTree ts(rg.graph, sub_tree, 0);
+
+    // Every surviving REAL tree-edge pair with one edge per path keeps its
+    // cut value (Fact 25).
+    for (const EdgeId se : sub_tree) {
+      const EdgeId oe = rg.origin[static_cast<std::size_t>(se)];
+      if (oe == kNoEdge || oe >= static_cast<EdgeId>(len)) continue;  // P side only
+      for (const EdgeId sf : sub_tree) {
+        const EdgeId of = rg.origin[static_cast<std::size_t>(sf)];
+        if (of == kNoEdge || of < static_cast<EdgeId>(len)) continue;  // Q side only
+        ASSERT_EQ(reference_cut_pair(ts, se, sf), reference_cut_pair(t, oe, of))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace umc::mincut

@@ -1,0 +1,167 @@
+// End-to-end tests for tree packing (Theorem 12) and the exact min-cut
+// (Theorem 1), cross-checked against Stoer-Wagner on every graph family the
+// paper's bounds address.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/stoer_wagner.hpp"
+#include "graph/generators.hpp"
+#include "mincut/exact_mincut.hpp"
+#include "mincut/tree_packing.hpp"
+#include "tree/rooted_tree.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace umc::mincut {
+namespace {
+
+void expect_exact(const WeightedGraph& g, Rng& rng, const PackingConfig& config = {}) {
+  minoragg::Ledger ledger;
+  const ExactMinCutResult got = exact_mincut(g, rng, ledger, config);
+  EXPECT_EQ(got.value, baseline::stoer_wagner(g).value);
+  EXPECT_GT(ledger.rounds(), 0);
+}
+
+TEST(TreePacking, ProducesValidSpanningTrees) {
+  Rng rng(3);
+  WeightedGraph g = erdos_renyi_connected(30, 0.2, rng);
+  randomize_weights(g, 1, 9, rng);
+  minoragg::Ledger ledger;
+  const TreePacking packing = tree_packing(g, rng, ledger);
+  EXPECT_GE(packing.trees.size(), 1u);
+  for (const auto& tree : packing.trees) {
+    const RootedTree t(g, tree, 0);  // throws unless a spanning tree
+    EXPECT_EQ(t.subtree_size(0), g.n());
+  }
+}
+
+TEST(TreePacking, SomeTreeTwoRespectsTheMinCut) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    WeightedGraph g = erdos_renyi_connected(25, 0.25, rng);
+    randomize_weights(g, 1, 12, rng);
+    minoragg::Ledger ledger;
+    const TreePacking packing = tree_packing(g, rng, ledger);
+    const auto cut = baseline::stoer_wagner(g);
+    std::vector<bool> in_side(static_cast<std::size_t>(g.n()), false);
+    for (const NodeId v : cut.side) in_side[static_cast<std::size_t>(v)] = true;
+    int best_crossing = g.n();
+    for (const auto& tree : packing.trees) {
+      int crossing = 0;
+      for (const EdgeId e : tree)
+        crossing += in_side[static_cast<std::size_t>(g.edge(e).u)] !=
+                            in_side[static_cast<std::size_t>(g.edge(e).v)]
+                        ? 1
+                        : 0;
+      best_crossing = std::min(best_crossing, crossing);
+    }
+    EXPECT_LE(best_crossing, 2) << "Theorem 12 whp guarantee, trial " << trial;
+  }
+}
+
+TEST(TreePacking, SamplingRouteOnHighlyConnectedGraphs) {
+  Rng rng(7);
+  WeightedGraph g = complete_graph(24);
+  randomize_weights(g, 40, 80, rng);  // lambda >> log n forces case (B)
+  minoragg::Ledger ledger;
+  PackingConfig config;
+  config.max_trees = 40;
+  const TreePacking packing = tree_packing(g, rng, ledger, config);
+  EXPECT_TRUE(packing.sampled);
+  EXPECT_GE(packing.trees.size(), 1u);
+  for (const auto& tree : packing.trees) {
+    const RootedTree t(g, tree, 0);
+    EXPECT_EQ(t.subtree_size(0), g.n());
+  }
+}
+
+TEST(ExactMinCut, TwoNodeGraph) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 3);
+  g.add_edge(0, 1, 4);
+  Rng rng(11);
+  minoragg::Ledger ledger;
+  EXPECT_EQ(exact_mincut(g, rng, ledger).value, 7);
+}
+
+TEST(ExactMinCut, DumbbellFindsTheBridge) {
+  Rng rng(13);
+  WeightedGraph g = dumbbell(6, 4);
+  expect_exact(g, rng);
+}
+
+TEST(ExactMinCut, RandomWeightedGraphs) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    WeightedGraph g = erdos_renyi_connected(18 + 3 * trial, 0.25, rng);
+    randomize_weights(g, 1, 20, rng);
+    expect_exact(g, rng);
+  }
+}
+
+TEST(ExactMinCut, PlanarGrids) {
+  Rng rng(19);
+  for (int trial = 0; trial < 3; ++trial) {
+    WeightedGraph g = random_planar_grid(5, 5, 0.4, rng);
+    randomize_weights(g, 1, 15, rng);
+    expect_exact(g, rng);
+  }
+}
+
+TEST(ExactMinCut, KTreeFamily) {
+  Rng rng(23);
+  WeightedGraph g = ktree(20, 3, rng);
+  randomize_weights(g, 1, 10, rng);
+  expect_exact(g, rng);
+}
+
+TEST(ExactMinCut, HighConnectivitySampledRoute) {
+  Rng rng(29);
+  WeightedGraph g = complete_graph(16);
+  randomize_weights(g, 30, 60, rng);
+  PackingConfig config;
+  config.max_trees = 60;
+  expect_exact(g, rng, config);
+}
+
+TEST(ExactMinCut, WellConnectedExpanderFamily) {
+  // Theorem 1 bullet 3 family: small diameter, good expansion.
+  Rng rng(41);
+  WeightedGraph g = ring_expander(48, 3, rng);
+  randomize_weights(g, 1, 12, rng);
+  PackingConfig config;
+  config.max_trees = 40;
+  expect_exact(g, rng, config);
+}
+
+TEST(ExactMinCut, UnweightedCycleValueIsTwo) {
+  Rng rng(31);
+  WeightedGraph g = cycle_graph(20);
+  minoragg::Ledger ledger;
+  EXPECT_EQ(exact_mincut(g, rng, ledger).value, 2);
+}
+
+TEST(ExactMinCut, RoundsArePolylogInMinorAggregation) {
+  Rng rng(37);
+  std::int64_t rounds_small = 0, rounds_large = 0;
+  for (const NodeId side : {6, 12}) {
+    WeightedGraph g = grid_graph(side, side);
+    randomize_weights(g, 1, 9, rng);
+    minoragg::Ledger ledger;
+    PackingConfig config;
+    config.max_trees = 8;  // fixed packing budget isolates the solver's cost
+    (void)exact_mincut(g, rng, ledger, config);
+    (side == 6 ? rounds_small : rounds_large) = ledger.rounds();
+  }
+  // 4x more nodes: the round count is poly(log n) with a high exponent
+  // (the loop nest of Theorems 39/40 is ~log^7), so at these small sizes
+  // the ratio is noticeably above 1 but far below the ~4x a linear-round
+  // algorithm with the same constants would show at scale; the wide-range
+  // scaling evidence lives in bench_two_respecting / EXPERIMENTS.md.
+  EXPECT_LT(rounds_large, 6 * rounds_small);
+}
+
+}  // namespace
+}  // namespace umc::mincut

@@ -1,0 +1,244 @@
+// Tests for the Minor-Aggregation simulator (Definition 9) and the
+// virtual-node extension (Section 4.1: Theorem 14 accounting, Lemma 15).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "graph/minors.hpp"
+#include "minoragg/boruvka.hpp"
+#include "tree/spanning.hpp"
+#include "minoragg/ledger.hpp"
+#include "minoragg/network.hpp"
+#include "minoragg/virtual_graph.hpp"
+#include "util/rng.hpp"
+
+namespace umc::minoragg {
+namespace {
+
+TEST(Ledger, SequentialAndParallelComposition) {
+  Ledger l;
+  l.charge(3);
+  EXPECT_EQ(l.rounds(), 3);
+  Ledger a, b;
+  a.charge(5);
+  a.bump("x", 2);
+  b.charge(9);
+  b.bump("x", 7);
+  const std::vector<Ledger> children = {a, b};
+  l.charge_parallel(children);
+  EXPECT_EQ(l.rounds(), 3 + 9);       // max of children round counts
+  EXPECT_EQ(l.counter("x"), 9);       // additive counters sum up
+  l.charge_sequential(a);
+  EXPECT_EQ(l.rounds(), 12 + 5);
+  EXPECT_EQ(l.counter("x"), 11);
+  // "max_"-prefixed counters merge by maximum instead.
+  Ledger m1, m2;
+  m1.set_max("max_depth", 4);
+  m2.set_max("max_depth", 2);
+  m1.charge_sequential(m2);
+  EXPECT_EQ(m1.counter("max_depth"), 4);
+}
+
+TEST(Network, ConsensusOverSupernodes) {
+  // Path 0-1-2-3; contract {0,1} and {2,3}: two supernodes.
+  const WeightedGraph g = path_graph(4);
+  Ledger ledger;
+  Network net(g, ledger);
+  const std::vector<bool> contract = {true, false, true};
+  const std::vector<std::int64_t> x = {1, 10, 100, 1000};
+  const auto res = net.round<SumAgg, SumAgg>(
+      contract, x, [](EdgeId, const std::int64_t&, const std::int64_t&) {
+        return std::pair<std::int64_t, std::int64_t>{1, 1};
+      });
+  EXPECT_EQ(res.consensus[0], 11);
+  EXPECT_EQ(res.consensus[1], 11);
+  EXPECT_EQ(res.consensus[2], 1100);
+  EXPECT_EQ(res.supernode[0], res.supernode[1]);
+  EXPECT_NE(res.supernode[1], res.supernode[2]);
+  // Single surviving minor edge contributes one z to each side.
+  EXPECT_EQ(res.aggregate[0], 1);
+  EXPECT_EQ(res.aggregate[3], 1);
+  EXPECT_EQ(ledger.rounds(), 1);
+}
+
+TEST(Network, AggregationSkipsSelfLoops) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel
+  g.add_edge(1, 2);
+  Ledger ledger;
+  Network net(g, ledger);
+  // Contract the first {0,1} edge: the second becomes a self-loop in G'.
+  const std::vector<bool> contract = {true, false, false};
+  const std::vector<std::int64_t> x = {0, 0, 0};
+  const auto res = net.round<SumAgg, SumAgg>(
+      contract, x, [](EdgeId, const std::int64_t&, const std::int64_t&) {
+        return std::pair<std::int64_t, std::int64_t>{1, 1};
+      });
+  EXPECT_EQ(res.aggregate[0], 1);  // only the {1,2} edge survives
+  EXPECT_EQ(res.aggregate[2], 1);
+}
+
+TEST(Network, AllAggregateAndPartAggregate) {
+  const WeightedGraph g = cycle_graph(6);
+  Ledger ledger;
+  Network net(g, ledger);
+  std::vector<std::int64_t> x = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(net.all_aggregate<SumAgg>(x), 21);
+  // Parts: edges {0-1},{1-2} in one part and {3-4} in another.
+  std::vector<bool> in_part(static_cast<std::size_t>(g.m()), false);
+  in_part[0] = in_part[1] = in_part[3] = true;
+  const auto parts = net.part_aggregate<SumAgg>(in_part, x);
+  EXPECT_EQ(parts[0], 1 + 2 + 3);
+  EXPECT_EQ(parts[2], 1 + 2 + 3);
+  EXPECT_EQ(parts[3], 4 + 5);
+  EXPECT_EQ(parts[5], 6);
+  EXPECT_EQ(ledger.rounds(), 2);
+}
+
+TEST(Network, AllAggregateRequiresConnectivity) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1);
+  Ledger ledger;
+  Network net(g, ledger);
+  const std::vector<std::int64_t> x = {1, 2, 3};
+  EXPECT_THROW(net.all_aggregate<SumAgg>(x), invariant_error);
+}
+
+TEST(Network, NeighborhoodAggregateSumsIncidentEdges) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 7);
+  Ledger ledger;
+  Network net(g, ledger);
+  const auto agg = net.neighborhood_aggregate<SumAgg>([&g](EdgeId e) {
+    const Weight w = g.edge(e).w;
+    return std::pair<std::int64_t, std::int64_t>{w, w};
+  });
+  EXPECT_EQ(agg[0], 5);
+  EXPECT_EQ(agg[1], 12);
+  EXPECT_EQ(agg[2], 7);
+}
+
+TEST(VirtualGraph, BetaCountsVirtualNodes) {
+  VirtualGraph vg = VirtualGraph::wrap(path_graph(4));
+  EXPECT_EQ(vg.beta(), 0);
+  const NodeId v = vg.add_virtual_node();
+  vg.graph.add_edge(0, v, 3);
+  vg.graph.add_edge(2, v, 4);
+  EXPECT_EQ(vg.beta(), 1);
+  EXPECT_EQ(vg.graph.n(), 5);
+}
+
+TEST(VirtualGraph, Theorem14SettleMultiplier) {
+  Ledger outer;
+  Ledger inner;
+  inner.charge(10);
+  settle_virtual_execution(outer, inner, 3);
+  EXPECT_EQ(outer.rounds(), 10 * 4);
+  EXPECT_EQ(outer.counter("max_beta"), 3);
+  // beta = 0 is a plain pass-through.
+  Ledger outer2, inner2;
+  inner2.charge(7);
+  settle_virtual_execution(outer2, inner2, 0);
+  EXPECT_EQ(outer2.rounds(), 7);
+}
+
+TEST(VirtualGraph, Lemma15MergesParallelEdgesTowardSubstitute) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 3);  // parallel toward the node being virtualized
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 3, 7);
+  Ledger ledger;
+  const VirtualGraph vg = virtualize_node(VirtualGraph::wrap(g), 1, ledger);
+  EXPECT_TRUE(vg.is_virtual[1]);
+  EXPECT_EQ(vg.graph.n(), 4);
+  EXPECT_EQ(vg.graph.m(), 3);  // {0,1} merged to weight 5, {1,2}, {2,3}
+  Weight w01 = 0, w12 = 0;
+  for (const Edge& e : vg.graph.edges()) {
+    if ((e.u == 0 && e.v == 1) || (e.u == 1 && e.v == 0)) w01 += e.w;
+    if ((e.u == 1 && e.v == 2) || (e.u == 2 && e.v == 1)) w12 += e.w;
+  }
+  EXPECT_EQ(w01, 5);
+  EXPECT_EQ(w12, 5);
+  EXPECT_EQ(ledger.rounds(), 2);
+}
+
+TEST(Ledger, JsonExport) {
+  Ledger l;
+  l.charge(7);
+  l.bump("widgets", 3);
+  l.set_max("max_depth", 2);
+  EXPECT_EQ(l.to_json(),
+            "{\"rounds\": 7, \"counters\": {\"max_depth\": 2, \"widgets\": 3}}");
+}
+
+TEST(Network, RoundAlgebraicProperties) {
+  // Randomized property check of the Definition 9 semantics:
+  //  (a) consensus is constant on each supernode and equals the fold of its
+  //      members' inputs;
+  //  (b) the aggregate is constant on each supernode;
+  //  (c) with identity edge values, the aggregate is the identity.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = 5 + static_cast<NodeId>(rng.next_below(30));
+    WeightedGraph g = erdos_renyi_connected(n, 0.2, rng);
+    std::vector<bool> contract(static_cast<std::size_t>(g.m()), false);
+    for (std::size_t e = 0; e < contract.size(); ++e) contract[e] = rng.next_bool(0.4);
+    std::vector<std::int64_t> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = rng.next_in(-100, 100);
+    Ledger ledger;
+    Network net(g, ledger);
+    const auto res = net.round<SumAgg, SumAgg>(
+        contract, x, [](EdgeId, const std::int64_t&, const std::int64_t&) {
+          return std::pair<std::int64_t, std::int64_t>{0, 0};
+        });
+    std::map<NodeId, std::int64_t> fold;
+    for (NodeId v = 0; v < n; ++v)
+      fold[res.supernode[static_cast<std::size_t>(v)]] += x[static_cast<std::size_t>(v)];
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(res.consensus[static_cast<std::size_t>(v)],
+                fold[res.supernode[static_cast<std::size_t>(v)]]);
+      EXPECT_EQ(res.aggregate[static_cast<std::size_t>(v)], 0);  // identity z
+      // Supernode ids are the minimum contained node id.
+      EXPECT_LE(res.supernode[static_cast<std::size_t>(v)], v);
+    }
+  }
+}
+
+TEST(Corollary10, AlgorithmsRunUnchangedOnMinors) {
+  // Borůvka on a minor of G equals Borůvka run directly on the minor graph
+  // — the "operate on minors" property the model grants for free.
+  Rng rng(51);
+  WeightedGraph g = erdos_renyi_connected(30, 0.2, rng);
+  std::vector<bool> contract(static_cast<std::size_t>(g.m()), false);
+  // Contract a spanning forest fragment (first few BFS-tree edges).
+  int budget = 8;
+  Dsu dsu(g.n());
+  for (EdgeId e = 0; e < g.m() && budget > 0; ++e) {
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) {
+      contract[static_cast<std::size_t>(e)] = true;
+      --budget;
+    }
+  }
+  const DerivedGraph minor = contract_edges(g, contract);
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(minor.graph.m()));
+  for (auto& c : cost) c = rng.next_in(1, 50);
+
+  Ledger ledger;
+  const auto tree = boruvka_mst(minor.graph, cost, ledger);
+  // Kruskal reference on the same minor.
+  std::vector<double> dcost(cost.begin(), cost.end());
+  const auto ref = kruskal_mst(minor.graph, dcost);
+  std::int64_t tw = 0, rw = 0;
+  for (const EdgeId e : tree) tw += cost[static_cast<std::size_t>(e)];
+  for (const EdgeId e : ref) rw += cost[static_cast<std::size_t>(e)];
+  EXPECT_EQ(tw, rw);
+}
+
+}  // namespace
+}  // namespace umc::minoragg

@@ -1,0 +1,138 @@
+// Parameterized sweeps for the Appendix A primitives over (tree family x
+// size x aggregator): subtree and ancestor sums must match the centralized
+// reference, the HL construction must match the reference labels, and the
+// supported-CONGEST SQ estimate (Theorem 1 bullet 2 proxy) must stay in
+// [√n-ish, n].
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "congest/compile.hpp"
+#include "graph/generators.hpp"
+#include "minoragg/tree_primitives.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace umc::minoragg {
+namespace {
+
+enum class TreeFamily { kRandom, kPath, kStar, kBinary, kCaterpillar };
+
+struct PrimParam {
+  TreeFamily family;
+  NodeId n;
+  std::uint64_t seed;
+};
+
+std::string fam_name(TreeFamily f) {
+  switch (f) {
+    case TreeFamily::kRandom: return "random";
+    case TreeFamily::kPath: return "path";
+    case TreeFamily::kStar: return "star";
+    case TreeFamily::kBinary: return "binary";
+    case TreeFamily::kCaterpillar: return "caterpillar";
+  }
+  return "?";
+}
+
+WeightedGraph build_tree(const PrimParam& p) {
+  Rng rng(p.seed);
+  switch (p.family) {
+    case TreeFamily::kRandom: return random_tree(p.n, rng);
+    case TreeFamily::kPath: return path_graph(p.n);
+    case TreeFamily::kStar: return star_graph(p.n);
+    case TreeFamily::kBinary: return binary_tree(p.n);
+    case TreeFamily::kCaterpillar: {
+      // Spine of n/2 nodes, each with one pendant leaf.
+      WeightedGraph g(p.n);
+      const NodeId spine = p.n / 2;
+      for (NodeId v = 0; v + 1 < spine; ++v) g.add_edge(v, v + 1);
+      for (NodeId v = spine; v < p.n; ++v) g.add_edge(v - spine, v);
+      return g;
+    }
+  }
+  return path_graph(p.n);
+}
+
+class PrimitiveSweep : public ::testing::TestWithParam<PrimParam> {};
+
+TEST_P(PrimitiveSweep, SubtreeAndAncestorSumsMatchReference) {
+  const WeightedGraph g = build_tree(GetParam());
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.m()));
+  std::iota(ids.begin(), ids.end(), EdgeId{0});
+  const RootedTree t(g, ids, 0);
+  const HeavyLightDecomposition hld(t);
+  Rng rng(GetParam().seed ^ 0xabcd);
+  std::vector<std::int64_t> input(static_cast<std::size_t>(g.n()));
+  for (auto& v : input) v = rng.next_in(-9, 9);
+
+  Ledger ledger;
+  const auto sub = hl_subtree_sums<SumAgg>(t, hld, input, ledger);
+  const auto anc = hl_ancestor_sums<SumAgg>(t, hld, input, ledger);
+  const auto sub_min = hl_subtree_sums<MinAgg>(t, hld, input, ledger);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::int64_t aref = 0;
+    for (NodeId x = v; x != kNoNode; x = t.parent(x)) aref += input[static_cast<std::size_t>(x)];
+    EXPECT_EQ(anc[static_cast<std::size_t>(v)], aref);
+  }
+  // Reference subtree sums / mins by reverse preorder accumulation.
+  std::vector<std::int64_t> sref(input.begin(), input.end());
+  std::vector<std::int64_t> mref(input.begin(), input.end());
+  const auto order = t.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId p = t.parent(*it);
+    if (p == kNoNode) continue;
+    sref[static_cast<std::size_t>(p)] += sref[static_cast<std::size_t>(*it)];
+    mref[static_cast<std::size_t>(p)] =
+        std::min(mref[static_cast<std::size_t>(p)], mref[static_cast<std::size_t>(*it)]);
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(sub[static_cast<std::size_t>(v)], sref[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(sub_min[static_cast<std::size_t>(v)], mref[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST_P(PrimitiveSweep, HlConstructMatchesReference) {
+  const WeightedGraph g = build_tree(GetParam());
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.m()));
+  std::iota(ids.begin(), ids.end(), EdgeId{0});
+  const RootedTree t(g, ids, 0);
+  Ledger ledger;
+  const HeavyLightDecomposition built = hl_construct(t, ledger);
+  const HeavyLightDecomposition ref(t);
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(built.hl_depth(v), ref.hl_depth(v));
+}
+
+std::vector<PrimParam> prim_grid() {
+  std::vector<PrimParam> out;
+  for (const TreeFamily f : {TreeFamily::kRandom, TreeFamily::kPath, TreeFamily::kStar,
+                             TreeFamily::kBinary, TreeFamily::kCaterpillar}) {
+    for (const NodeId n : {2, 17, 128}) out.push_back({f, n, 5});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeFamilies, PrimitiveSweep, ::testing::ValuesIn(prim_grid()),
+                         [](const ::testing::TestParamInfo<PrimParam>& info) {
+                           return fam_name(info.param.family) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(ShortcutQualityEstimate, BoundedBySqrtNishAndN) {
+  Rng rng(9);
+  for (const auto& g :
+       {grid_graph(12, 12), path_graph(144), erdos_renyi_connected(144, 0.06, rng)}) {
+    const std::int64_t sq = congest::estimate_shortcut_quality(g, 3, 11);
+    EXPECT_GE(sq, static_cast<std::int64_t>(isqrt(144)) / 2);
+    EXPECT_LE(sq, 8 * 144);
+  }
+  // A path's estimate is D-dominated (global part): far above the grid's.
+  const std::int64_t path_sq = congest::estimate_shortcut_quality(path_graph(400), 2, 1);
+  const std::int64_t grid_sq = congest::estimate_shortcut_quality(grid_graph(20, 20), 2, 1);
+  EXPECT_GT(path_sq, 2 * grid_sq);
+}
+
+}  // namespace
+}  // namespace umc::minoragg

