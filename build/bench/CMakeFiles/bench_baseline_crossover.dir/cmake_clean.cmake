@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_crossover.dir/bench_baseline_crossover.cpp.o"
+  "CMakeFiles/bench_baseline_crossover.dir/bench_baseline_crossover.cpp.o.d"
+  "bench_baseline_crossover"
+  "bench_baseline_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

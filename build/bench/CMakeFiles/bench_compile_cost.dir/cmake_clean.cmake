@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_cost.dir/bench_compile_cost.cpp.o"
+  "CMakeFiles/bench_compile_cost.dir/bench_compile_cost.cpp.o.d"
+  "bench_compile_cost"
+  "bench_compile_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

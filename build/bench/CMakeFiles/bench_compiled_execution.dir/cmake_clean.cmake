@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiled_execution.dir/bench_compiled_execution.cpp.o"
+  "CMakeFiles/bench_compiled_execution.dir/bench_compiled_execution.cpp.o.d"
+  "bench_compiled_execution"
+  "bench_compiled_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiled_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

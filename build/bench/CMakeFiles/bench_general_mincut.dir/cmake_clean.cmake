@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_mincut.dir/bench_general_mincut.cpp.o"
+  "CMakeFiles/bench_general_mincut.dir/bench_general_mincut.cpp.o.d"
+  "bench_general_mincut"
+  "bench_general_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_one_respecting.dir/bench_one_respecting.cpp.o"
+  "CMakeFiles/bench_one_respecting.dir/bench_one_respecting.cpp.o.d"
+  "bench_one_respecting"
+  "bench_one_respecting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_one_respecting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

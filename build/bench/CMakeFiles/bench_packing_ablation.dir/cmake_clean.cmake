@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packing_ablation.dir/bench_packing_ablation.cpp.o"
+  "CMakeFiles/bench_packing_ablation.dir/bench_packing_ablation.cpp.o.d"
+  "bench_packing_ablation"
+  "bench_packing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

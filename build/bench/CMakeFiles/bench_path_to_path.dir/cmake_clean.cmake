@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_to_path.dir/bench_path_to_path.cpp.o"
+  "CMakeFiles/bench_path_to_path.dir/bench_path_to_path.cpp.o.d"
+  "bench_path_to_path"
+  "bench_path_to_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_to_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

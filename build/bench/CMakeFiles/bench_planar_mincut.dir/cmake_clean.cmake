@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planar_mincut.dir/bench_planar_mincut.cpp.o"
+  "CMakeFiles/bench_planar_mincut.dir/bench_planar_mincut.cpp.o.d"
+  "bench_planar_mincut"
+  "bench_planar_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planar_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

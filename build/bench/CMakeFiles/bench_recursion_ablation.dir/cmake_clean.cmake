@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recursion_ablation.dir/bench_recursion_ablation.cpp.o"
+  "CMakeFiles/bench_recursion_ablation.dir/bench_recursion_ablation.cpp.o.d"
+  "bench_recursion_ablation"
+  "bench_recursion_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recursion_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supported_congest.dir/bench_supported_congest.cpp.o"
+  "CMakeFiles/bench_supported_congest.dir/bench_supported_congest.cpp.o.d"
+  "bench_supported_congest"
+  "bench_supported_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supported_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

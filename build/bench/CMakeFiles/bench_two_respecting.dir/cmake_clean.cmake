@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_respecting.dir/bench_two_respecting.cpp.o"
+  "CMakeFiles/bench_two_respecting.dir/bench_two_respecting.cpp.o.d"
+  "bench_two_respecting"
+  "bench_two_respecting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_respecting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_overhead.dir/bench_virtual_overhead.cpp.o"
+  "CMakeFiles/bench_virtual_overhead.dir/bench_virtual_overhead.cpp.o.d"
+  "bench_virtual_overhead"
+  "bench_virtual_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacenter_bottleneck.dir/datacenter_bottleneck.cpp.o"
+  "CMakeFiles/example_datacenter_bottleneck.dir/datacenter_bottleneck.cpp.o.d"
+  "example_datacenter_bottleneck"
+  "example_datacenter_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacenter_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

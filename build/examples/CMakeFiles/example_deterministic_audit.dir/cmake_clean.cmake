@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deterministic_audit.dir/deterministic_audit.cpp.o"
+  "CMakeFiles/example_deterministic_audit.dir/deterministic_audit.cpp.o.d"
+  "example_deterministic_audit"
+  "example_deterministic_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deterministic_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

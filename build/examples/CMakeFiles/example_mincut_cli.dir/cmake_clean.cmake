@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mincut_cli.dir/mincut_cli.cpp.o"
+  "CMakeFiles/example_mincut_cli.dir/mincut_cli.cpp.o.d"
+  "example_mincut_cli"
+  "example_mincut_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mincut_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

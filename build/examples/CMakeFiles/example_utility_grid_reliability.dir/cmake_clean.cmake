@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_utility_grid_reliability.dir/utility_grid_reliability.cpp.o"
+  "CMakeFiles/example_utility_grid_reliability.dir/utility_grid_reliability.cpp.o.d"
+  "example_utility_grid_reliability"
+  "example_utility_grid_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_utility_grid_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

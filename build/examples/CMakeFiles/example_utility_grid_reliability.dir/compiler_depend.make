@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_utility_grid_reliability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_utility_grid_reliability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_baseline.dir/baseline/karger.cpp.o"
+  "CMakeFiles/umc_baseline.dir/baseline/karger.cpp.o.d"
+  "CMakeFiles/umc_baseline.dir/baseline/karger_stein.cpp.o"
+  "CMakeFiles/umc_baseline.dir/baseline/karger_stein.cpp.o.d"
+  "CMakeFiles/umc_baseline.dir/baseline/naive_two_respect.cpp.o"
+  "CMakeFiles/umc_baseline.dir/baseline/naive_two_respect.cpp.o.d"
+  "CMakeFiles/umc_baseline.dir/baseline/stoer_wagner.cpp.o"
+  "CMakeFiles/umc_baseline.dir/baseline/stoer_wagner.cpp.o.d"
+  "libumc_baseline.a"
+  "libumc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congest/bfs_tree.cpp" "src/CMakeFiles/umc_congest.dir/congest/bfs_tree.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/bfs_tree.cpp.o.d"
+  "/root/repo/src/congest/compile.cpp" "src/CMakeFiles/umc_congest.dir/congest/compile.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/compile.cpp.o.d"
+  "/root/repo/src/congest/compiled_network.cpp" "src/CMakeFiles/umc_congest.dir/congest/compiled_network.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/compiled_network.cpp.o.d"
+  "/root/repo/src/congest/congest_net.cpp" "src/CMakeFiles/umc_congest.dir/congest/congest_net.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/congest_net.cpp.o.d"
+  "/root/repo/src/congest/edge_coloring.cpp" "src/CMakeFiles/umc_congest.dir/congest/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/edge_coloring.cpp.o.d"
+  "/root/repo/src/congest/gather_baseline.cpp" "src/CMakeFiles/umc_congest.dir/congest/gather_baseline.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/gather_baseline.cpp.o.d"
+  "/root/repo/src/congest/partwise.cpp" "src/CMakeFiles/umc_congest.dir/congest/partwise.cpp.o" "gcc" "src/CMakeFiles/umc_congest.dir/congest/partwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_minoragg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_mincut_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_congest.dir/congest/bfs_tree.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/bfs_tree.cpp.o.d"
+  "CMakeFiles/umc_congest.dir/congest/compile.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/compile.cpp.o.d"
+  "CMakeFiles/umc_congest.dir/congest/compiled_network.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/compiled_network.cpp.o.d"
+  "CMakeFiles/umc_congest.dir/congest/congest_net.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/congest_net.cpp.o.d"
+  "CMakeFiles/umc_congest.dir/congest/edge_coloring.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/edge_coloring.cpp.o.d"
+  "CMakeFiles/umc_congest.dir/congest/gather_baseline.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/gather_baseline.cpp.o.d"
+  "CMakeFiles/umc_congest.dir/congest/partwise.cpp.o"
+  "CMakeFiles/umc_congest.dir/congest/partwise.cpp.o.d"
+  "libumc_congest.a"
+  "libumc_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libumc_congest.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/umc_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/umc_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/umc_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/umc_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/umc_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/umc_graph.dir/graph/minors.cpp.o"
+  "CMakeFiles/umc_graph.dir/graph/minors.cpp.o.d"
+  "CMakeFiles/umc_graph.dir/graph/properties.cpp.o"
+  "CMakeFiles/umc_graph.dir/graph/properties.cpp.o.d"
+  "libumc_graph.a"
+  "libumc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

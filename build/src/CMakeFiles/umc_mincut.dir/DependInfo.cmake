@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mincut/exact_mincut.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/exact_mincut.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/exact_mincut.cpp.o.d"
+  "/root/repo/src/mincut/interest.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/interest.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/interest.cpp.o.d"
+  "/root/repo/src/mincut/one_respect.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/one_respect.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/one_respect.cpp.o.d"
+  "/root/repo/src/mincut/path_to_path.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/path_to_path.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/path_to_path.cpp.o.d"
+  "/root/repo/src/mincut/star.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/star.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/star.cpp.o.d"
+  "/root/repo/src/mincut/subtree_instance.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/subtree_instance.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/subtree_instance.cpp.o.d"
+  "/root/repo/src/mincut/tree_packing.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/tree_packing.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/tree_packing.cpp.o.d"
+  "/root/repo/src/mincut/two_respect.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/two_respect.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/two_respect.cpp.o.d"
+  "/root/repo/src/mincut/witness.cpp" "src/CMakeFiles/umc_mincut.dir/mincut/witness.cpp.o" "gcc" "src/CMakeFiles/umc_mincut.dir/mincut/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umc_mincut_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_minoragg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_mincut.dir/mincut/exact_mincut.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/exact_mincut.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/interest.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/interest.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/one_respect.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/one_respect.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/path_to_path.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/path_to_path.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/star.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/star.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/subtree_instance.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/subtree_instance.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/tree_packing.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/tree_packing.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/two_respect.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/two_respect.cpp.o.d"
+  "CMakeFiles/umc_mincut.dir/mincut/witness.cpp.o"
+  "CMakeFiles/umc_mincut.dir/mincut/witness.cpp.o.d"
+  "libumc_mincut.a"
+  "libumc_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mincut/cut_values.cpp" "src/CMakeFiles/umc_mincut_values.dir/mincut/cut_values.cpp.o" "gcc" "src/CMakeFiles/umc_mincut_values.dir/mincut/cut_values.cpp.o.d"
+  "/root/repo/src/mincut/instance.cpp" "src/CMakeFiles/umc_mincut_values.dir/mincut/instance.cpp.o" "gcc" "src/CMakeFiles/umc_mincut_values.dir/mincut/instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_mincut_values.dir/mincut/cut_values.cpp.o"
+  "CMakeFiles/umc_mincut_values.dir/mincut/cut_values.cpp.o.d"
+  "CMakeFiles/umc_mincut_values.dir/mincut/instance.cpp.o"
+  "CMakeFiles/umc_mincut_values.dir/mincut/instance.cpp.o.d"
+  "libumc_mincut_values.a"
+  "libumc_mincut_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_mincut_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for umc_mincut_values.
+# This may be replaced when dependencies are built.

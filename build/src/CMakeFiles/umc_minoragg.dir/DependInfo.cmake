@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minoragg/boruvka.cpp" "src/CMakeFiles/umc_minoragg.dir/minoragg/boruvka.cpp.o" "gcc" "src/CMakeFiles/umc_minoragg.dir/minoragg/boruvka.cpp.o.d"
+  "/root/repo/src/minoragg/cole_vishkin.cpp" "src/CMakeFiles/umc_minoragg.dir/minoragg/cole_vishkin.cpp.o" "gcc" "src/CMakeFiles/umc_minoragg.dir/minoragg/cole_vishkin.cpp.o.d"
+  "/root/repo/src/minoragg/network.cpp" "src/CMakeFiles/umc_minoragg.dir/minoragg/network.cpp.o" "gcc" "src/CMakeFiles/umc_minoragg.dir/minoragg/network.cpp.o.d"
+  "/root/repo/src/minoragg/star_merge.cpp" "src/CMakeFiles/umc_minoragg.dir/minoragg/star_merge.cpp.o" "gcc" "src/CMakeFiles/umc_minoragg.dir/minoragg/star_merge.cpp.o.d"
+  "/root/repo/src/minoragg/tree_primitives.cpp" "src/CMakeFiles/umc_minoragg.dir/minoragg/tree_primitives.cpp.o" "gcc" "src/CMakeFiles/umc_minoragg.dir/minoragg/tree_primitives.cpp.o.d"
+  "/root/repo/src/minoragg/virtual_graph.cpp" "src/CMakeFiles/umc_minoragg.dir/minoragg/virtual_graph.cpp.o" "gcc" "src/CMakeFiles/umc_minoragg.dir/minoragg/virtual_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_minoragg.dir/minoragg/boruvka.cpp.o"
+  "CMakeFiles/umc_minoragg.dir/minoragg/boruvka.cpp.o.d"
+  "CMakeFiles/umc_minoragg.dir/minoragg/cole_vishkin.cpp.o"
+  "CMakeFiles/umc_minoragg.dir/minoragg/cole_vishkin.cpp.o.d"
+  "CMakeFiles/umc_minoragg.dir/minoragg/network.cpp.o"
+  "CMakeFiles/umc_minoragg.dir/minoragg/network.cpp.o.d"
+  "CMakeFiles/umc_minoragg.dir/minoragg/star_merge.cpp.o"
+  "CMakeFiles/umc_minoragg.dir/minoragg/star_merge.cpp.o.d"
+  "CMakeFiles/umc_minoragg.dir/minoragg/tree_primitives.cpp.o"
+  "CMakeFiles/umc_minoragg.dir/minoragg/tree_primitives.cpp.o.d"
+  "CMakeFiles/umc_minoragg.dir/minoragg/virtual_graph.cpp.o"
+  "CMakeFiles/umc_minoragg.dir/minoragg/virtual_graph.cpp.o.d"
+  "libumc_minoragg.a"
+  "libumc_minoragg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_minoragg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

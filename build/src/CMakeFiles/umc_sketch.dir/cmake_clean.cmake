@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_sketch.dir/sketch/misra_gries.cpp.o"
+  "CMakeFiles/umc_sketch.dir/sketch/misra_gries.cpp.o.d"
+  "libumc_sketch.a"
+  "libumc_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/centroid.cpp" "src/CMakeFiles/umc_tree.dir/tree/centroid.cpp.o" "gcc" "src/CMakeFiles/umc_tree.dir/tree/centroid.cpp.o.d"
+  "/root/repo/src/tree/hld.cpp" "src/CMakeFiles/umc_tree.dir/tree/hld.cpp.o" "gcc" "src/CMakeFiles/umc_tree.dir/tree/hld.cpp.o.d"
+  "/root/repo/src/tree/lca.cpp" "src/CMakeFiles/umc_tree.dir/tree/lca.cpp.o" "gcc" "src/CMakeFiles/umc_tree.dir/tree/lca.cpp.o.d"
+  "/root/repo/src/tree/rooted_tree.cpp" "src/CMakeFiles/umc_tree.dir/tree/rooted_tree.cpp.o" "gcc" "src/CMakeFiles/umc_tree.dir/tree/rooted_tree.cpp.o.d"
+  "/root/repo/src/tree/spanning.cpp" "src/CMakeFiles/umc_tree.dir/tree/spanning.cpp.o" "gcc" "src/CMakeFiles/umc_tree.dir/tree/spanning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

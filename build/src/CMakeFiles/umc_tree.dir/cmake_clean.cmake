@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_tree.dir/tree/centroid.cpp.o"
+  "CMakeFiles/umc_tree.dir/tree/centroid.cpp.o.d"
+  "CMakeFiles/umc_tree.dir/tree/hld.cpp.o"
+  "CMakeFiles/umc_tree.dir/tree/hld.cpp.o.d"
+  "CMakeFiles/umc_tree.dir/tree/lca.cpp.o"
+  "CMakeFiles/umc_tree.dir/tree/lca.cpp.o.d"
+  "CMakeFiles/umc_tree.dir/tree/rooted_tree.cpp.o"
+  "CMakeFiles/umc_tree.dir/tree/rooted_tree.cpp.o.d"
+  "CMakeFiles/umc_tree.dir/tree/spanning.cpp.o"
+  "CMakeFiles/umc_tree.dir/tree/spanning.cpp.o.d"
+  "libumc_tree.a"
+  "libumc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umc_util.dir/util/rng.cpp.o"
+  "CMakeFiles/umc_util.dir/util/rng.cpp.o.d"
+  "libumc_util.a"
+  "libumc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

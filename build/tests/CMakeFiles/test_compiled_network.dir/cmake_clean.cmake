@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled_network.dir/test_compiled_network.cpp.o"
+  "CMakeFiles/test_compiled_network.dir/test_compiled_network.cpp.o.d"
+  "test_compiled_network"
+  "test_compiled_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_equivalence.dir/test_cut_equivalence.cpp.o"
+  "CMakeFiles/test_cut_equivalence.dir/test_cut_equivalence.cpp.o.d"
+  "test_cut_equivalence"
+  "test_cut_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

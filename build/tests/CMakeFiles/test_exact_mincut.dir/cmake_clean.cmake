@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_mincut.dir/test_exact_mincut.cpp.o"
+  "CMakeFiles/test_exact_mincut.dir/test_exact_mincut.cpp.o.d"
+  "test_exact_mincut"
+  "test_exact_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

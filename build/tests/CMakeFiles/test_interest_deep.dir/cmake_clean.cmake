@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interest_deep.dir/test_interest_deep.cpp.o"
+  "CMakeFiles/test_interest_deep.dir/test_interest_deep.cpp.o.d"
+  "test_interest_deep"
+  "test_interest_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interest_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_literal_primitives.dir/test_literal_primitives.cpp.o"
+  "CMakeFiles/test_literal_primitives.dir/test_literal_primitives.cpp.o.d"
+  "test_literal_primitives"
+  "test_literal_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_literal_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minoragg.dir/test_minoragg.cpp.o"
+  "CMakeFiles/test_minoragg.dir/test_minoragg.cpp.o.d"
+  "test_minoragg"
+  "test_minoragg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minoragg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

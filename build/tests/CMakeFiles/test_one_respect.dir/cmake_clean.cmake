@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_respect.dir/test_one_respect.cpp.o"
+  "CMakeFiles/test_one_respect.dir/test_one_respect.cpp.o.d"
+  "test_one_respect"
+  "test_one_respect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_respect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primitive_sweeps.dir/test_primitive_sweeps.cpp.o"
+  "CMakeFiles/test_primitive_sweeps.dir/test_primitive_sweeps.cpp.o.d"
+  "test_primitive_sweeps"
+  "test_primitive_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primitive_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

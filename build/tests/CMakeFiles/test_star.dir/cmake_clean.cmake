@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_star.dir/test_star.cpp.o"
+  "CMakeFiles/test_star.dir/test_star.cpp.o.d"
+  "test_star"
+  "test_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

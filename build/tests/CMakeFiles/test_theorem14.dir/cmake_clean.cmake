@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorem14.dir/test_theorem14.cpp.o"
+  "CMakeFiles/test_theorem14.dir/test_theorem14.cpp.o.d"
+  "test_theorem14"
+  "test_theorem14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorem14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
