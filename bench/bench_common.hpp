@@ -5,8 +5,15 @@
 // Conventions: every bench reports the quantities the paper's claims are
 // about as google-benchmark counters — Minor-Aggregation rounds
 // ("ma_rounds"), compiled CONGEST rounds ("congest_*"), hop diameter ("D"),
-// and per-experiment structure counters. Wall time is secondary. Heavy
-// measurements run once per configuration (Iterations(1)).
+// and per-experiment structure counters. Heavy measurements run once per
+// configuration (Iterations(1)).
+//
+// Wall time: since the round-execution engine landed (plan cache + scratch
+// reuse + deterministic chunk-parallel folds, see DESIGN.md), the simulator
+// is fast enough that google-benchmark's Time/CPU columns are meaningful
+// measurements of host cost, not simulator noise — bench_round_engine
+// tracks them explicitly. Round counters remain the primary quantities; the
+// engine never changes them.
 
 #include <benchmark/benchmark.h>
 

@@ -1,0 +1,170 @@
+// Round-execution engine microbench: repeated identical-pattern rounds on a
+// 256x256 grid — the workload shape of fixed-schedule drivers (spanning
+// tree, HLD chains, Theorem 14), where the contraction pattern recurs for
+// thousands of consecutive rounds.
+//
+//   * Uncached: the seed-style round — per-round DSU + minor-edge scan and a
+//     std::function edge callback, rebuilt from scratch every round.
+//   * Cached: Network/RoundEngine — the plan is built once, every later
+//     round replays it from the LRU cache with scratch-arena buffers and an
+//     inlined callback. threads=1 isolates the caching win; threadsN adds
+//     the chunk-parallel folds (bit-identical by construction).
+//
+// All variants export the same "checksum" counter (FNV over consensus and
+// aggregate vectors) and "ma_rounds" — the engine changes wall time ONLY,
+// never outputs or round accounting.
+//
+// Run:
+//   ./bench_round_engine --benchmark_out=BENCH_round_engine.json
+//       --benchmark_out_format=json
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/dsu.hpp"
+#include "minoragg/network.hpp"
+#include "util/thread_pool.hpp"
+
+namespace umc {
+namespace {
+
+constexpr NodeId kSide = 256;
+constexpr int kRounds = 1000;
+
+// Dense contraction, the density regime of the drivers that actually replay
+// patterns (spanning-tree and HLD-chain schedules contract most edges).
+std::vector<bool> fixed_pattern(const WeightedGraph& g) {
+  Rng rng(0x70A7);
+  std::vector<bool> c(static_cast<std::size_t>(g.m()));
+  for (std::size_t e = 0; e < c.size(); ++e) c[e] = rng.next_bool(0.85);
+  return c;
+}
+
+std::vector<std::int64_t> fixed_input(const WeightedGraph& g) {
+  Rng rng(0x1297);
+  std::vector<std::int64_t> x(static_cast<std::size_t>(g.n()));
+  for (auto& v : x) v = rng.next_in(0, 1000);
+  return x;
+}
+
+std::uint64_t fnv(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v);
+  return h * 0x100000001b3ULL;
+}
+
+std::uint64_t checksum(const minoragg::RoundResult<std::int64_t, std::int64_t>& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::int64_t v : r.consensus) h = fnv(h, v);
+  for (const std::int64_t v : r.aggregate) h = fnv(h, v);
+  for (const NodeId s : r.supernode) h = fnv(h, s);
+  return h;
+}
+
+std::pair<std::int64_t, std::int64_t> edge_z(const WeightedGraph& g, EdgeId e, std::int64_t yu,
+                                             std::int64_t yv) {
+  const std::int64_t w = g.edge(e).w;
+  return {yu + w, yv - w + 3 * e};
+}
+
+/// The seed's round(), replicated verbatim: supernodes() = DSU pass + two
+/// full find() sweeps; folds into n-sized tables indexed by supernode id;
+/// type-erased edge callback; fresh buffers every round.
+minoragg::RoundResult<std::int64_t, std::int64_t> seed_style_round(
+    const WeightedGraph& g, const std::vector<bool>& contract,
+    const std::vector<std::int64_t>& input,
+    const std::function<std::pair<std::int64_t, std::int64_t>(EdgeId, std::int64_t, std::int64_t)>&
+        edge_values,
+    minoragg::Ledger& ledger) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+
+  minoragg::RoundResult<std::int64_t, std::int64_t> out;
+  {
+    Dsu dsu(g.n());
+    for (EdgeId e = 0; e < g.m(); ++e)
+      if (contract[static_cast<std::size_t>(e)]) dsu.unite(g.edge(e).u, g.edge(e).v);
+    std::vector<NodeId> smallest(n, kNoNode);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      NodeId& slot = smallest[static_cast<std::size_t>(dsu.find(v))];
+      if (slot == kNoNode) slot = v;
+    }
+    out.supernode.resize(n);
+    for (NodeId v = 0; v < g.n(); ++v)
+      out.supernode[static_cast<std::size_t>(v)] = smallest[static_cast<std::size_t>(dsu.find(v))];
+  }
+  std::vector<std::int64_t> y(n, SumAgg::identity());
+  for (NodeId v = 0; v < g.n(); ++v)
+    y[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])] +=
+        input[static_cast<std::size_t>(v)];
+  out.consensus.resize(n);
+  for (NodeId v = 0; v < g.n(); ++v)
+    out.consensus[static_cast<std::size_t>(v)] =
+        y[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])];
+  std::vector<std::int64_t> z(n, MinAgg::identity());
+  for (EdgeId e = 0; e < g.m(); ++e) {
+    const Edge& ed = g.edge(e);
+    const NodeId su = out.supernode[static_cast<std::size_t>(ed.u)];
+    const NodeId sv = out.supernode[static_cast<std::size_t>(ed.v)];
+    if (su == sv) continue;
+    const auto [zu, zv] = edge_values(e, out.consensus[static_cast<std::size_t>(ed.u)],
+                                      out.consensus[static_cast<std::size_t>(ed.v)]);
+    z[static_cast<std::size_t>(su)] = std::min(z[static_cast<std::size_t>(su)], zu);
+    z[static_cast<std::size_t>(sv)] = std::min(z[static_cast<std::size_t>(sv)], zv);
+  }
+  out.aggregate.resize(n);
+  for (NodeId v = 0; v < g.n(); ++v)
+    out.aggregate[static_cast<std::size_t>(v)] =
+        z[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])];
+  ledger.charge(1);
+  return out;
+}
+
+void BM_RepeatedRounds_SeedStyle(benchmark::State& state) {
+  const WeightedGraph g = benchutil::weighted_grid(kSide, 7);
+  const std::vector<bool> contract = fixed_pattern(g);
+  const std::vector<std::int64_t> input = fixed_input(g);
+  const std::function<std::pair<std::int64_t, std::int64_t>(EdgeId, std::int64_t, std::int64_t)>
+      fn = [&g](EdgeId e, std::int64_t yu, std::int64_t yv) { return edge_z(g, e, yu, yv); };
+  minoragg::Ledger ledger;
+  minoragg::RoundResult<std::int64_t, std::int64_t> last;
+  for (auto _ : state) {
+    auto out = seed_style_round(g, contract, input, fn, ledger);
+    benchmark::DoNotOptimize(out.aggregate.data());
+    last = std::move(out);
+  }
+  benchutil::export_ledger(state, ledger);
+  state.counters["checksum"] = static_cast<double>(checksum(last) % (1u << 30));
+}
+
+void BM_RepeatedRounds_Engine(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const WeightedGraph g = benchutil::weighted_grid(kSide, 7);
+  const std::vector<bool> contract = fixed_pattern(g);
+  const std::vector<std::int64_t> input = fixed_input(g);
+  minoragg::Ledger ledger;
+  const minoragg::Network net(g, ledger);
+  net.set_threads(threads);
+  minoragg::RoundResult<std::int64_t, std::int64_t> last;
+  for (auto _ : state) {
+    auto out = net.round<SumAgg, MinAgg>(
+        contract, std::span<const std::int64_t>(input),
+        [&g](EdgeId e, std::int64_t yu, std::int64_t yv) { return edge_z(g, e, yu, yv); });
+    benchmark::DoNotOptimize(out.aggregate.data());
+    last = std::move(out);
+  }
+  benchutil::export_ledger(state, ledger);
+  state.counters["checksum"] = static_cast<double>(checksum(last) % (1u << 30));
+  state.counters["threads"] = threads;
+  state.counters["plan_cache_hits"] = static_cast<double>(net.engine().plan_cache_hits());
+}
+
+BENCHMARK(BM_RepeatedRounds_SeedStyle)->Iterations(kRounds)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RepeatedRounds_Engine)
+    ->Arg(1)
+    ->Arg(4)  // checksum must match /1 exactly — determinism under parallel folds
+    ->Iterations(kRounds)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace umc

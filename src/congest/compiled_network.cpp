@@ -3,41 +3,34 @@
 #include <limits>
 #include <set>
 
-#include "graph/dsu.hpp"
 #include "util/assert.hpp"
 
 namespace umc::congest {
 
 CompiledRoundResult execute_ma_round(
-    CongestNetwork& net, const std::vector<bool>& contract,
+    CongestNetwork& net, minoragg::RoundEngine& engine, const std::vector<bool>& contract,
     std::span<const std::int64_t> node_input, PartwiseOp consensus_op,
     const std::function<std::pair<std::int64_t, std::int64_t>(EdgeId, std::int64_t,
                                                               std::int64_t)>& edge_values,
     PartwiseOp aggregate_op) {
   const WeightedGraph& g = net.graph();
+  UMC_ASSERT(&engine.graph() == &g);
   UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
   UMC_ASSERT(static_cast<NodeId>(node_input.size()) == g.n());
   const std::int64_t start = net.rounds();
 
   // Parts of the contraction (bookkeeping only — each node knows its
-  // incident contracted edges, which is what PA consumes).
-  Dsu dsu(g.n());
-  for (EdgeId e = 0; e < g.m(); ++e)
-    if (contract[static_cast<std::size_t>(e)]) dsu.unite(g.edge(e).u, g.edge(e).v);
-  std::vector<int> part(static_cast<std::size_t>(g.n()));
-  {
-    std::vector<int> dense(static_cast<std::size_t>(g.n()), -1);
-    int next = 0;
-    for (NodeId v = 0; v < g.n(); ++v) {
-      const NodeId r = dsu.find(v);
-      if (dense[static_cast<std::size_t>(r)] == -1) dense[static_cast<std::size_t>(r)] = next++;
-      part[static_cast<std::size_t>(v)] = dense[static_cast<std::size_t>(r)];
-    }
-  }
+  // incident contracted edges, which is what PA consumes). The engine's
+  // cached plan provides exactly the dense first-seen part numbering the
+  // seed derived from a per-round DSU.
+  const minoragg::RoundPlan& plan = engine.plan(contract);
+  const std::span<const int> part(plan.group_of.data(), plan.group_of.size());
 
   CompiledRoundResult out;
 
-  // Step 1: leader election — min-fold of node ids per part.
+  // Step 1: leader election — min-fold of node ids per part. (The plan
+  // already knows each part's smallest id; the PA is the message traffic
+  // that realizes it, and the fold result must agree.)
   {
     std::vector<std::int64_t> ids(static_cast<std::size_t>(g.n()));
     for (NodeId v = 0; v < g.n(); ++v) ids[static_cast<std::size_t>(v)] = v;
@@ -46,6 +39,7 @@ CompiledRoundResult execute_ma_round(
     for (NodeId v = 0; v < g.n(); ++v)
       out.supernode[static_cast<std::size_t>(v)] =
           static_cast<NodeId>(leaders.value[static_cast<std::size_t>(v)]);
+    UMC_ASSERT(out.supernode == plan.supernode);
   }
 
   // Step 2: consensus.
@@ -54,11 +48,13 @@ CompiledRoundResult execute_ma_round(
     out.consensus = consensus.value;
   }
 
-  // Step 3: y-exchange — one real CONGEST round over every edge.
+  // Step 3: y-exchange — one real CONGEST round over every edge (CSR view:
+  // one contiguous scan).
   std::vector<std::int64_t> y_other(static_cast<std::size_t>(g.m()) * 2, 0);
   {
+    const CsrAdjacency& csr = g.csr();
     for (NodeId v = 0; v < g.n(); ++v)
-      for (const AdjEntry& a : g.adj(v))
+      for (const AdjEntry& a : csr.row(v))
         net.send(v, a.edge, out.consensus[static_cast<std::size_t>(v)]);
     net.end_round();
     for (NodeId v = 0; v < g.n(); ++v) {
@@ -80,20 +76,18 @@ CompiledRoundResult execute_ma_round(
       return aggregate_op == PartwiseOp::kSum ? a + b : std::min(a, b);
     };
     std::vector<std::int64_t> partial(static_cast<std::size_t>(g.n()), identity());
-    for (EdgeId e = 0; e < g.m(); ++e) {
-      const Edge& ed = g.edge(e);
-      if (out.supernode[static_cast<std::size_t>(ed.u)] ==
-          out.supernode[static_cast<std::size_t>(ed.v)])
-        continue;  // self-loop in the minor
+    // The plan's surviving-edge list already excludes minor self-loops.
+    for (const minoragg::RoundPlan::MinorEdge& me : plan.edges) {
       // Each endpoint evaluates the edge's z for its side: it holds its own
       // y and the y it RECEIVED over the edge in step 3.
-      const std::int64_t yu = y_other[static_cast<std::size_t>(e) * 2 + 1];  // u's y, held at v
-      const std::int64_t yv = y_other[static_cast<std::size_t>(e) * 2 + 0];  // v's y, held at u
-      UMC_ASSERT(yu == out.consensus[static_cast<std::size_t>(ed.u)]);
-      UMC_ASSERT(yv == out.consensus[static_cast<std::size_t>(ed.v)]);
-      const auto [zu, zv] = edge_values(e, yu, yv);
-      partial[static_cast<std::size_t>(ed.u)] = fold(partial[static_cast<std::size_t>(ed.u)], zu);
-      partial[static_cast<std::size_t>(ed.v)] = fold(partial[static_cast<std::size_t>(ed.v)], zv);
+      const std::size_t e = static_cast<std::size_t>(me.e);
+      const std::int64_t yu = y_other[e * 2 + 1];  // u's y, held at v
+      const std::int64_t yv = y_other[e * 2 + 0];  // v's y, held at u
+      UMC_ASSERT(yu == out.consensus[static_cast<std::size_t>(me.u)]);
+      UMC_ASSERT(yv == out.consensus[static_cast<std::size_t>(me.v)]);
+      const auto [zu, zv] = edge_values(me.e, yu, yv);
+      partial[static_cast<std::size_t>(me.u)] = fold(partial[static_cast<std::size_t>(me.u)], zu);
+      partial[static_cast<std::size_t>(me.v)] = fold(partial[static_cast<std::size_t>(me.v)], zv);
     }
     const PartwiseResult agg = partwise_aggregate(net, part, partial, aggregate_op);
     out.aggregate = agg.value;
@@ -101,6 +95,17 @@ CompiledRoundResult execute_ma_round(
 
   out.congest_rounds = net.rounds() - start;
   return out;
+}
+
+CompiledRoundResult execute_ma_round(
+    CongestNetwork& net, const std::vector<bool>& contract,
+    std::span<const std::int64_t> node_input, PartwiseOp consensus_op,
+    const std::function<std::pair<std::int64_t, std::int64_t>(EdgeId, std::int64_t,
+                                                              std::int64_t)>& edge_values,
+    PartwiseOp aggregate_op) {
+  minoragg::RoundEngine engine(net.graph());
+  return execute_ma_round(net, engine, contract, node_input, consensus_op, edge_values,
+                          aggregate_op);
 }
 
 CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
@@ -115,12 +120,13 @@ CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
   };
 
   CongestNetwork net(g);
+  minoragg::RoundEngine engine(g);  // one plan cache across all iterations
   CompiledBoruvkaResult out;
   std::vector<bool> selected(static_cast<std::size_t>(g.m()), false);
   const std::vector<std::int64_t> zeros(static_cast<std::size_t>(g.n()), 0);
   for (;;) {
     const CompiledRoundResult round = execute_ma_round(
-        net, selected, zeros, PartwiseOp::kSum,
+        net, engine, selected, zeros, PartwiseOp::kSum,
         [&](EdgeId e, std::int64_t, std::int64_t) {
           const std::int64_t key = pack(cost[static_cast<std::size_t>(e)], e);
           return std::pair{key, key};

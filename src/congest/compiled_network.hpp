@@ -22,6 +22,7 @@
 #include <span>
 
 #include "congest/partwise.hpp"
+#include "minoragg/round_engine.hpp"
 
 namespace umc::congest {
 
@@ -34,6 +35,19 @@ struct CompiledRoundResult {
 
 /// `edge_values(e, y_u_side, y_v_side)` returns the z-pair of a surviving
 /// minor edge, exactly as in minoragg::Network::round.
+///
+/// The contraction partition (parts, supernode leaders, surviving-edge
+/// list) comes from `engine`'s cached RoundPlan — drivers that execute many
+/// rounds against recurring contraction patterns (Theorem 17 schedules)
+/// skip the per-round DSU. The engine must wrap the same graph as `net`.
+[[nodiscard]] CompiledRoundResult execute_ma_round(
+    CongestNetwork& net, minoragg::RoundEngine& engine, const std::vector<bool>& contract,
+    std::span<const std::int64_t> node_input, PartwiseOp consensus_op,
+    const std::function<std::pair<std::int64_t, std::int64_t>(EdgeId, std::int64_t,
+                                                              std::int64_t)>& edge_values,
+    PartwiseOp aggregate_op);
+
+/// Convenience overload with a throwaway engine (single-shot rounds).
 [[nodiscard]] CompiledRoundResult execute_ma_round(
     CongestNetwork& net, const std::vector<bool>& contract,
     std::span<const std::int64_t> node_input, PartwiseOp consensus_op,

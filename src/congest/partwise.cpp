@@ -17,8 +17,11 @@ namespace umc::congest {
 namespace {
 
 /// Eccentricity of `root` inside the sub-network induced by one part.
+/// Scans the CSR adjacency view — one BFS per part per aggregation makes
+/// this the layer's hottest loop.
 int internal_eccentricity(const WeightedGraph& g, std::span<const int> part, int pid,
                           NodeId root) {
+  const CsrAdjacency& csr = g.csr();
   std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
   std::queue<NodeId> q;
   dist[static_cast<std::size_t>(root)] = 0;
@@ -28,7 +31,7 @@ int internal_eccentricity(const WeightedGraph& g, std::span<const int> part, int
     const NodeId v = q.front();
     q.pop();
     ecc = std::max(ecc, dist[static_cast<std::size_t>(v)]);
-    for (const AdjEntry& a : g.adj(v)) {
+    for (const AdjEntry& a : csr.row(v)) {
       if (part[static_cast<std::size_t>(a.to)] != pid) continue;
       if (dist[static_cast<std::size_t>(a.to)] != -1) continue;
       dist[static_cast<std::size_t>(a.to)] = dist[static_cast<std::size_t>(v)] + 1;

@@ -10,6 +10,7 @@ namespace umc {
 
 WeightedGraph path_graph(NodeId n) {
   WeightedGraph g(n);
+  g.reserve(n, n > 0 ? n - 1 : 0);
   for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
   return g;
 }
@@ -24,12 +25,14 @@ WeightedGraph cycle_graph(NodeId n) {
 WeightedGraph star_graph(NodeId n) {
   UMC_ASSERT(n >= 1);
   WeightedGraph g(n);
+  g.reserve(n, n - 1);
   for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
   return g;
 }
 
 WeightedGraph complete_graph(NodeId n) {
   WeightedGraph g(n);
+  g.reserve(n, static_cast<EdgeId>(static_cast<std::int64_t>(n) * (n - 1) / 2));
   for (NodeId u = 0; u < n; ++u)
     for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
   return g;
@@ -38,6 +41,7 @@ WeightedGraph complete_graph(NodeId n) {
 WeightedGraph grid_graph(NodeId rows, NodeId cols) {
   UMC_ASSERT(rows >= 1 && cols >= 1);
   WeightedGraph g(rows * cols);
+  g.reserve(rows * cols, 2 * rows * cols - rows - cols);
   const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
@@ -96,6 +100,7 @@ WeightedGraph erdos_renyi_connected(NodeId n, double p, Rng& rng) {
 WeightedGraph random_tree(NodeId n, Rng& rng) {
   UMC_ASSERT(n >= 1);
   WeightedGraph g(n);
+  g.reserve(n, n - 1);
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
     g.add_edge(parent, v);
@@ -106,6 +111,7 @@ WeightedGraph random_tree(NodeId n, Rng& rng) {
 WeightedGraph random_connected(NodeId n, EdgeId m, Rng& rng) {
   UMC_ASSERT(m >= n - 1);
   WeightedGraph g = random_tree(n, rng);
+  g.reserve(n, m);
   std::set<std::pair<NodeId, NodeId>> present;
   for (const Edge& e : g.edges()) present.emplace(std::min(e.u, e.v), std::max(e.u, e.v));
   const std::int64_t simple_bound = static_cast<std::int64_t>(n) * (n - 1) / 2;
@@ -207,6 +213,7 @@ WeightedGraph spider(int k, NodeId len, EdgeId chords, Rng& rng) {
 WeightedGraph complete_bipartite(NodeId a, NodeId b) {
   UMC_ASSERT(a >= 1 && b >= 1);
   WeightedGraph g(a + b);
+  g.reserve(a + b, static_cast<EdgeId>(static_cast<std::int64_t>(a) * b));
   for (NodeId u = 0; u < a; ++u)
     for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
   return g;
@@ -215,6 +222,7 @@ WeightedGraph complete_bipartite(NodeId a, NodeId b) {
 WeightedGraph binary_tree(NodeId n) {
   UMC_ASSERT(n >= 1);
   WeightedGraph g(n);
+  g.reserve(n, n - 1);
   for (NodeId v = 1; v < n; ++v) g.add_edge((v - 1) / 2, v);
   return g;
 }

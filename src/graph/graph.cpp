@@ -2,8 +2,15 @@
 
 namespace umc {
 
+void WeightedGraph::reserve(NodeId nodes, EdgeId edges) {
+  UMC_ASSERT(nodes >= 0 && edges >= 0);
+  adj_.reserve(static_cast<std::size_t>(nodes));
+  edges_.reserve(static_cast<std::size_t>(edges));
+}
+
 NodeId WeightedGraph::add_node() {
   adj_.emplace_back();
+  csr_valid_ = false;
   return static_cast<NodeId>(adj_.size() - 1);
 }
 
@@ -16,6 +23,7 @@ EdgeId WeightedGraph::add_edge(NodeId u, NodeId v, Weight w) {
   edges_.push_back(Edge{u, v, w});
   adj_[static_cast<std::size_t>(u)].push_back(AdjEntry{v, id});
   adj_[static_cast<std::size_t>(v)].push_back(AdjEntry{u, id});
+  csr_valid_ = false;
   return id;
 }
 
@@ -35,6 +43,23 @@ void WeightedGraph::set_weight(EdgeId e, Weight w) {
   UMC_ASSERT(e >= 0 && e < m());
   UMC_ASSERT_MSG(w > 0, "edge weights must be positive");
   edges_[static_cast<std::size_t>(e)].w = w;
+}
+
+const CsrAdjacency& WeightedGraph::csr() const {
+  if (!csr_valid_) {
+    csr_.offsets.assign(adj_.size() + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+      total += adj_[v].size();
+      csr_.offsets[v + 1] = static_cast<std::int32_t>(total);
+    }
+    csr_.entries.clear();
+    csr_.entries.reserve(total);
+    for (const std::vector<AdjEntry>& row : adj_)
+      csr_.entries.insert(csr_.entries.end(), row.begin(), row.end());
+    csr_valid_ = true;
+  }
+  return csr_;
 }
 
 }  // namespace umc

@@ -43,6 +43,20 @@ struct AdjEntry {
   EdgeId edge = kNoEdge;
 };
 
+/// Compressed-sparse-row adjacency — one contiguous entry array plus n+1
+/// offsets. The cache-friendly edge layout shared by the Minor-Aggregation
+/// and CONGEST simulators' hot scans (per-list vectors scatter allocations;
+/// CSR streams). Obtained from WeightedGraph::csr().
+struct CsrAdjacency {
+  std::vector<std::int32_t> offsets;  // size n+1
+  std::vector<AdjEntry> entries;      // size 2m, grouped by node
+
+  [[nodiscard]] std::span<const AdjEntry> row(NodeId v) const {
+    return {entries.data() + offsets[static_cast<std::size_t>(v)],
+            entries.data() + offsets[static_cast<std::size_t>(v) + 1]};
+  }
+};
+
 /// Weighted undirected multigraph with O(1) edge lookup by id.
 class WeightedGraph {
  public:
@@ -51,6 +65,10 @@ class WeightedGraph {
 
   [[nodiscard]] NodeId n() const { return static_cast<NodeId>(adj_.size()); }
   [[nodiscard]] EdgeId m() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Pre-sizes the node and edge stores (never shrinks). Generators use
+  /// this to avoid reallocation churn when building large graphs.
+  void reserve(NodeId nodes, EdgeId edges);
 
   /// Appends an isolated vertex; returns its id.
   NodeId add_node();
@@ -84,9 +102,17 @@ class WeightedGraph {
   /// Re-weights an existing edge. New weight must be positive.
   void set_weight(EdgeId e, Weight w);
 
+  /// The CSR adjacency view, built lazily on first use and rebuilt after
+  /// topology changes (add_node/add_edge). NOT safe to build concurrently:
+  /// call it once before handing the graph to parallel code (set_weight
+  /// does not invalidate it — entries carry no weights).
+  [[nodiscard]] const CsrAdjacency& csr() const;
+
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<AdjEntry>> adj_;
+  mutable CsrAdjacency csr_;       // wall-time cache only
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace umc

@@ -19,6 +19,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "util/assert.hpp"
 
@@ -55,20 +56,24 @@ class Ledger {
   /// Experiment counters. Two kinds, distinguished by name: keys starting
   /// with "max_" hold maxima (depths, degrees) and merge by max across any
   /// composition; all others are additive work counts and merge by sum.
-  void bump(const std::string& key, std::int64_t v = 1) {
-    UMC_ASSERT(key.rfind("max_", 0) != 0);
-    counters_[key] += v;
+  /// Keys are string_views looked up heterogeneously — hot-path bumps from
+  /// string literals allocate only on a key's first appearance.
+  void bump(std::string_view key, std::int64_t v = 1) {
+    UMC_ASSERT(key.substr(0, 4) != "max_");
+    slot(key) += v;
   }
-  void set_max(const std::string& key, std::int64_t v) {
-    UMC_ASSERT(key.rfind("max_", 0) == 0);
-    auto& slot = counters_[key];
-    slot = std::max(slot, v);
+  void set_max(std::string_view key, std::int64_t v) {
+    UMC_ASSERT(key.substr(0, 4) == "max_");
+    auto& s = slot(key);
+    s = std::max(s, v);
   }
-  [[nodiscard]] std::int64_t counter(const std::string& key) const {
+  [[nodiscard]] std::int64_t counter(std::string_view key) const {
     const auto it = counters_.find(key);
     return it == counters_.end() ? 0 : it->second;
   }
-  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>& counters() const {
+    return counters_;
+  }
 
   /// JSON rendering of rounds + counters, for experiment pipelines:
   /// {"rounds": 123, "counters": {"cv_iterations": 4, ...}}.
@@ -87,18 +92,26 @@ class Ledger {
 
   /// Merge one counter by its kind ("max_" prefix = max, else sum). Used
   /// when transferring counters between ledgers.
-  void absorb_counter(const std::string& key, std::int64_t v) {
-    if (key.rfind("max_", 0) == 0) {
-      auto& slot = counters_[key];
-      slot = std::max(slot, v);
+  void absorb_counter(std::string_view key, std::int64_t v) {
+    auto& s = slot(key);
+    if (key.substr(0, 4) == "max_") {
+      s = std::max(s, v);
     } else {
-      counters_[key] += v;
+      s += v;
     }
   }
 
  private:
+  /// Heterogeneous find-or-insert: materializes a std::string key only when
+  /// the counter does not exist yet.
+  std::int64_t& slot(std::string_view key) {
+    const auto it = counters_.find(key);
+    if (it != counters_.end()) return it->second;
+    return counters_.emplace(std::string(key), 0).first->second;
+  }
+
   std::int64_t rounds_ = 0;
-  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
 };
 
 }  // namespace umc::minoragg

@@ -3,21 +3,7 @@
 namespace umc::minoragg {
 
 std::vector<NodeId> Network::supernodes(const std::vector<bool>& contract) const {
-  const WeightedGraph& g = *g_;
-  UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
-  Dsu dsu(g.n());
-  for (EdgeId e = 0; e < g.m(); ++e)
-    if (contract[static_cast<std::size_t>(e)]) dsu.unite(g.edge(e).u, g.edge(e).v);
-  // Supernode id := smallest node id it contains (stable, locally computable).
-  std::vector<NodeId> smallest(static_cast<std::size_t>(g.n()), kNoNode);
-  for (NodeId v = 0; v < g.n(); ++v) {
-    NodeId& slot = smallest[static_cast<std::size_t>(dsu.find(v))];
-    if (slot == kNoNode) slot = v;  // ids scanned in increasing order
-  }
-  std::vector<NodeId> out(static_cast<std::size_t>(g.n()));
-  for (NodeId v = 0; v < g.n(); ++v)
-    out[static_cast<std::size_t>(v)] = smallest[static_cast<std::size_t>(dsu.find(v))];
-  return out;
+  return engine_.plan(contract).supernode;
 }
 
 }  // namespace umc::minoragg

@@ -16,40 +16,41 @@
 // reproducible; all shipped aggregators are either order-independent or
 // mergeable sketches whose guarantees are order-independent (Def. 7).
 //
+// Execution is delegated to a per-network RoundEngine (round_engine.hpp):
+// repeated contraction patterns replay a cached plan, folds reuse scratch
+// arenas, and large rounds fold chunk-parallel — bit-identically to the
+// sequential reference at any thread count. Engine use changes wall time
+// only; the Ledger round accounting is identical.
+//
 // Algorithm code must communicate ONLY through rounds; per-node/per-edge
-// closures may read node-local inputs and prior round outputs.
+// closures may read node-local inputs and prior round outputs. Edge-value
+// callbacks must be pure functions of (edge id, y_u, y_v): they are invoked
+// exactly once per surviving minor edge, possibly concurrently.
 
-#include <functional>
-#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
-#include "graph/dsu.hpp"
 #include "graph/graph.hpp"
 #include "minoragg/ledger.hpp"
+#include "minoragg/round_engine.hpp"
 #include "sketch/aggregators.hpp"
 
 namespace umc::minoragg {
-
-/// Outcome of one round, indexed by node id of the host graph.
-template <typename Y, typename Z>
-struct RoundResult {
-  /// y_{s(v)}: the consensus aggregate of v's supernode.
-  std::vector<Y> consensus;
-  /// ⊗-aggregate of incident E' edge values of v's supernode.
-  std::vector<Z> aggregate;
-  /// Supernode id of v (smallest node id contained in the supernode).
-  std::vector<NodeId> supernode;
-};
 
 class Network {
  public:
   /// The caller keeps `g` alive for the Network's lifetime. Rounds charge
   /// to `ledger`.
-  Network(const WeightedGraph& g, Ledger& ledger) : g_(&g), ledger_(&ledger) {}
+  Network(const WeightedGraph& g, Ledger& ledger) : g_(&g), ledger_(&ledger), engine_(g) {}
 
   [[nodiscard]] const WeightedGraph& graph() const { return *g_; }
   [[nodiscard]] Ledger& ledger() { return *ledger_; }
+
+  /// The round-execution engine (plan cache + scratch). Exposed for thread
+  /// configuration and cache statistics; wall-time machinery only.
+  [[nodiscard]] RoundEngine& engine() const { return engine_; }
+  void set_threads(int t) const { engine_.set_threads(t); }
 
   /// One full Definition 9 round.
   ///
@@ -58,50 +59,17 @@ class Network {
   /// `edge_values`  — z-choice of each surviving minor edge: given the host
   ///                  edge id and the consensus values (y_u_side, y_v_side)
   ///                  of the supernodes containing edge.u / edge.v, returns
-  ///                  {z_for_u_side, z_for_v_side}.
-  template <Aggregator CAgg, Aggregator XAgg>
+  ///                  {z_for_u_side, z_for_v_side}. Any callable; invoked
+  ///                  without indirection in the hot loop.
+  template <Aggregator CAgg, Aggregator XAgg, typename EdgeFn>
   RoundResult<typename CAgg::value_type, typename XAgg::value_type> round(
       const std::vector<bool>& contract, std::span<const typename CAgg::value_type> node_input,
-      const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(
-          EdgeId, const typename CAgg::value_type&, const typename CAgg::value_type&)>&
-          edge_values) const {
-    using Y = typename CAgg::value_type;
-    using Z = typename XAgg::value_type;
+      EdgeFn&& edge_values) const {
     const WeightedGraph& g = *g_;
     UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
     UMC_ASSERT(static_cast<NodeId>(node_input.size()) == g.n());
-
-    RoundResult<Y, Z> out;
-    out.supernode = supernodes(contract);
-
-    // Consensus step: fold x_v per supernode in node-id order.
-    std::vector<Y> y(static_cast<std::size_t>(g.n()), CAgg::identity());
-    for (NodeId v = 0; v < g.n(); ++v) {
-      const std::size_t s = static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)]);
-      y[s] = CAgg::merge(std::move(y[s]), node_input[static_cast<std::size_t>(v)]);
-    }
-    out.consensus.resize(static_cast<std::size_t>(g.n()));
-    for (NodeId v = 0; v < g.n(); ++v)
-      out.consensus[static_cast<std::size_t>(v)] =
-          y[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])];
-
-    // Aggregation step over surviving minor edges.
-    std::vector<Z> z(static_cast<std::size_t>(g.n()), XAgg::identity());
-    for (EdgeId e = 0; e < g.m(); ++e) {
-      const Edge& ed = g.edge(e);
-      const NodeId su = out.supernode[static_cast<std::size_t>(ed.u)];
-      const NodeId sv = out.supernode[static_cast<std::size_t>(ed.v)];
-      if (su == sv) continue;  // self-loop in G', removed
-      auto [zu, zv] = edge_values(e, out.consensus[static_cast<std::size_t>(ed.u)],
-                                  out.consensus[static_cast<std::size_t>(ed.v)]);
-      z[static_cast<std::size_t>(su)] = XAgg::merge(std::move(z[static_cast<std::size_t>(su)]), std::move(zu));
-      z[static_cast<std::size_t>(sv)] = XAgg::merge(std::move(z[static_cast<std::size_t>(sv)]), std::move(zv));
-    }
-    out.aggregate.resize(static_cast<std::size_t>(g.n()));
-    for (NodeId v = 0; v < g.n(); ++v)
-      out.aggregate[static_cast<std::size_t>(v)] =
-          z[static_cast<std::size_t>(out.supernode[static_cast<std::size_t>(v)])];
-
+    const RoundPlan& plan = engine_.plan(contract);
+    auto out = engine_.execute<CAgg, XAgg>(plan, node_input, std::forward<EdgeFn>(edge_values));
     ledger_->charge(1);
     return out;
   }
@@ -123,10 +91,8 @@ class Network {
 
   /// One aggregation-only round: every node learns ⊗ over its incident
   /// edges of z-values computed edge-locally (no contraction).
-  template <Aggregator XAgg>
-  std::vector<typename XAgg::value_type> neighborhood_aggregate(
-      const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(EdgeId)>&
-          edge_values) const;
+  template <Aggregator XAgg, typename EdgeFn>
+  std::vector<typename XAgg::value_type> neighborhood_aggregate(EdgeFn&& edge_values) const;
 
   /// Supernode ids (smallest contained node id) for a contraction choice;
   /// free of charge (bookkeeping shared by round()).
@@ -135,6 +101,9 @@ class Network {
  private:
   const WeightedGraph* g_;
   Ledger* ledger_;
+  // The engine is a wall-time cache with no model-visible state, so const
+  // rounds may mutate it.
+  mutable RoundEngine engine_;
 };
 
 // ---- template implementations ---------------------------------------------
@@ -166,10 +135,9 @@ std::vector<typename CAgg::value_type> Network::part_aggregate(
   return res.consensus;
 }
 
-template <Aggregator XAgg>
+template <Aggregator XAgg, typename EdgeFn>
 std::vector<typename XAgg::value_type> Network::neighborhood_aggregate(
-    const std::function<std::pair<typename XAgg::value_type, typename XAgg::value_type>(EdgeId)>&
-        edge_values) const {
+    EdgeFn&& edge_values) const {
   const std::vector<bool> contract(static_cast<std::size_t>(g_->m()), false);
   const std::vector<std::uint8_t> node_input(static_cast<std::size_t>(g_->n()), 0);
   const auto res = round<OrAgg, XAgg>(contract, node_input,

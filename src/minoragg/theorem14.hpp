@@ -20,11 +20,12 @@
 // outputs equal a direct execution on the virtual graph, and that the cost
 // matches the bound.
 
+#include <functional>
 #include <map>
 
-#include "graph/dsu.hpp"
 #include "graph/minors.hpp"
 #include "minoragg/network.hpp"
+#include "minoragg/round_engine.hpp"
 #include "minoragg/virtual_graph.hpp"
 
 namespace umc::minoragg {
@@ -96,26 +97,24 @@ simulate_virtual_round(
   // virtual-edge topology is globally known, so the connected-component
   // structure over {real supernodes touching virtuals} + {virtuals under
   // contracted virtual-virtual edges} is local knowledge. (Ground truth via
-  // DSU; the information flow above justifies it.)
-  Dsu vdsu(vgraph.n());
-  for (EdgeId e = 0; e < vgraph.m(); ++e)
-    if (contract[static_cast<std::size_t>(e)]) vdsu.unite(vgraph.edge(e).u, vgraph.edge(e).v);
+  // the round-execution engine's cached plan — the same partition a direct
+  // virtual-graph execution would use; the information flow above justifies
+  // it.)
+  RoundEngine vengine(vgraph);
+  const RoundPlan& vplan = vengine.plan(contract);
   VirtualRoundResult<Y, Z> out;
-  out.supernode.resize(static_cast<std::size_t>(vgraph.n()));
-  {
-    std::vector<NodeId> smallest(static_cast<std::size_t>(vgraph.n()), kNoNode);
-    for (NodeId v = 0; v < vgraph.n(); ++v) {
-      NodeId& slot = smallest[static_cast<std::size_t>(vdsu.find(v))];
-      if (slot == kNoNode) slot = v;
-    }
-    for (NodeId v = 0; v < vgraph.n(); ++v)
-      out.supernode[static_cast<std::size_t>(v)] =
-          smallest[static_cast<std::size_t>(vdsu.find(v))];
-  }
-  const auto has_virtual = [&](NodeId rep) {
-    for (const NodeId v : virtuals)
-      if (vdsu.same(rep, v)) return true;
-    return false;
+  out.supernode = vplan.supernode;
+  std::vector<std::uint8_t> group_has_virtual(static_cast<std::size_t>(vplan.num_groups), 0);
+  for (const NodeId v : virtuals)
+    group_has_virtual[static_cast<std::size_t>(
+        vplan.group_of[static_cast<std::size_t>(v)])] = 1;
+  const auto has_virtual = [&](NodeId node) {
+    return group_has_virtual[static_cast<std::size_t>(
+               vplan.group_of[static_cast<std::size_t>(node)])] != 0;
+  };
+  const auto same_supernode = [&](NodeId a, NodeId b) {
+    return vplan.group_of[static_cast<std::size_t>(a)] ==
+           vplan.group_of[static_cast<std::size_t>(b)];
   };
 
   // Step 3: consensus. Round A: supernodes without virtual nodes, on
@@ -144,7 +143,7 @@ simulate_virtual_round(
       // all beta virtual nodes unconditionally).
       bool is_driver = true;
       for (const NodeId w : virtuals)
-        if (w < v_virt && vdsu.same(w, v_virt)) is_driver = false;
+        if (w < v_virt && same_supernode(w, v_virt)) is_driver = false;
       if (!is_driver) {
         ledger.charge(1);  // the proof still spends the round slot
         continue;
@@ -152,7 +151,7 @@ simulate_virtual_round(
       std::vector<Y> x_masked(static_cast<std::size_t>(real.graph.n()), CAgg::identity());
       Y acc = CAgg::identity();
       for (NodeId v = 0; v < vgraph.n(); ++v) {
-        if (!vdsu.same(v, v_virt)) continue;
+        if (!same_supernode(v, v_virt)) continue;
         if (gv.is_virtual[static_cast<std::size_t>(v)]) {
           acc = CAgg::merge(std::move(acc), node_input[static_cast<std::size_t>(v)]);
         } else {
@@ -171,20 +170,16 @@ simulate_virtual_round(
 
   // Step 4: aggregation, same schedule. Each surviving G_virt edge computes
   // its z-pair (simulated by a real endpoint, or by everyone if both ends
-  // are virtual); fold per supernode.
-  std::map<NodeId, Z> z_of;
-  for (NodeId v = 0; v < vgraph.n(); ++v) z_of.emplace(out.supernode[static_cast<std::size_t>(v)], XAgg::identity());
-  for (EdgeId e = 0; e < vgraph.m(); ++e) {
-    const Edge& ed = vgraph.edge(e);
-    const NodeId su = out.supernode[static_cast<std::size_t>(ed.u)];
-    const NodeId sv = out.supernode[static_cast<std::size_t>(ed.v)];
-    if (su == sv) continue;
-    auto [zu, zv] = edge_values(e, out.consensus[static_cast<std::size_t>(ed.u)],
-                                out.consensus[static_cast<std::size_t>(ed.v)]);
-    auto itu = z_of.find(su);
-    itu->second = XAgg::merge(std::move(itu->second), std::move(zu));
-    auto itv = z_of.find(sv);
-    itv->second = XAgg::merge(std::move(itv->second), std::move(zv));
+  // are virtual); fold per supernode, following the plan's precomputed
+  // surviving-edge list (ascending edge id — the reference fold order).
+  std::vector<Z> z_group(static_cast<std::size_t>(vplan.num_groups), XAgg::identity());
+  for (const RoundPlan::MinorEdge& me : vplan.edges) {
+    auto [zu, zv] = edge_values(me.e, out.consensus[static_cast<std::size_t>(me.u)],
+                                out.consensus[static_cast<std::size_t>(me.v)]);
+    auto& slot_u = z_group[static_cast<std::size_t>(me.gu)];
+    slot_u = XAgg::merge(std::move(slot_u), std::move(zu));
+    auto& slot_v = z_group[static_cast<std::size_t>(me.gv)];
+    slot_v = XAgg::merge(std::move(slot_v), std::move(zv));
   }
   // Round accounting for the aggregation phase: one round for plain
   // supernodes + one contract-all round per virtual supernode (the fold
@@ -192,7 +187,8 @@ simulate_virtual_round(
   ledger.charge(1 + static_cast<std::int64_t>(virtuals.size()));
   out.aggregate.resize(static_cast<std::size_t>(vgraph.n()));
   for (NodeId v = 0; v < vgraph.n(); ++v)
-    out.aggregate[static_cast<std::size_t>(v)] = z_of.at(out.supernode[static_cast<std::size_t>(v)]);
+    out.aggregate[static_cast<std::size_t>(v)] =
+        z_group[static_cast<std::size_t>(vplan.group_of[static_cast<std::size_t>(v)])];
 
   out.real_rounds = ledger.rounds() - start;
   return out;

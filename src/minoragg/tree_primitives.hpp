@@ -17,6 +17,12 @@
 // Lemma 46 cost; the labels themselves equal the reference construction's
 // (the lemma's invariant pins them up to heavy-tie-breaking, which both
 // sides break identically).
+//
+// Wall-clock: the model already says chains of one HL-depth are
+// node-disjoint and run simultaneously, so the host executes them on the
+// shared thread pool — each chain writes only its own nodes' slots and its
+// own ledger, and per-chain ledgers merge in chain order, keeping both
+// outputs and round accounting bit-identical to sequential execution.
 
 #include <span>
 #include <vector>
@@ -26,8 +32,20 @@
 #include "sketch/aggregators.hpp"
 #include "tree/hld.hpp"
 #include "tree/rooted_tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::minoragg {
+
+namespace detail {
+/// Host-parallelism width for one level of node-disjoint chains: spread
+/// chains over UMC_THREADS unless the level is too small to be worth the
+/// fan-out.
+inline int chain_level_width(std::size_t num_chains, std::size_t level_nodes) {
+  if (num_chains < 2 || level_nodes < (1u << 13)) return 1;
+  const std::size_t cap = static_cast<std::size_t>(ThreadPool::configured_threads());
+  return static_cast<int>(num_chains < cap ? num_chains : cap);
+}
+}  // namespace detail
 
 /// The HL-chains (maximal heavy paths) of the decomposition, grouped by
 /// HL-depth; each chain lists its nodes top-to-bottom. Bookkeeping only.
@@ -44,27 +62,34 @@ std::vector<typename A::value_type> hl_subtree_sums(
   const auto chains = chains_by_hl_depth(t, hld);
   std::vector<V> s(input.begin(), input.end());  // filled deepest-first
   for (int d = static_cast<int>(chains.size()) - 1; d >= 0; --d) {
+    const auto& level_chains = chains[static_cast<std::size_t>(d)];
+    std::size_t level_nodes = 0;
+    for (const auto& chain : level_chains) level_nodes += chain.size();
     Ledger level;  // chains at one depth run simultaneously (Cor. 11)
-    std::vector<Ledger> chain_ledgers;
-    for (const std::vector<NodeId>& chain : chains[static_cast<std::size_t>(d)]) {
-      // x_v = input_v ⊕ (already-computed sums of non-heavy children).
-      std::vector<V> x;
-      x.reserve(chain.size());
-      for (const NodeId v : chain) {
-        V acc = input[static_cast<std::size_t>(v)];
-        for (const NodeId c : t.children(v)) {
-          if (hld.chain_head(c) == c)  // non-heavy child: starts its own chain
-            acc = A::merge(std::move(acc), s[static_cast<std::size_t>(c)]);
-        }
-        x.push_back(std::move(acc));
-      }
-      Ledger cl;
-      cl.charge(1);  // the x_v initialization round (edge-local pass)
-      std::vector<V> suf = path_suffix_sums<A>(std::span<const V>(x), cl);
-      for (std::size_t i = 0; i < chain.size(); ++i)
-        s[static_cast<std::size_t>(chain[i])] = std::move(suf[i]);
-      chain_ledgers.push_back(std::move(cl));
-    }
+    std::vector<Ledger> chain_ledgers(level_chains.size());
+    // Chains are node-disjoint and only read results of deeper levels, so
+    // each writes disjoint slots of `s` and its own ledger slot.
+    ThreadPool::global().run(
+        level_chains.size(), detail::chain_level_width(level_chains.size(), level_nodes),
+        [&](std::size_t ci) {
+          const std::vector<NodeId>& chain = level_chains[ci];
+          // x_v = input_v ⊕ (already-computed sums of non-heavy children).
+          std::vector<V> x;
+          x.reserve(chain.size());
+          for (const NodeId v : chain) {
+            V acc = input[static_cast<std::size_t>(v)];
+            for (const NodeId c : t.children(v)) {
+              if (hld.chain_head(c) == c)  // non-heavy child: starts its own chain
+                acc = A::merge(std::move(acc), s[static_cast<std::size_t>(c)]);
+            }
+            x.push_back(std::move(acc));
+          }
+          Ledger& cl = chain_ledgers[ci];
+          cl.charge(1);  // the x_v initialization round (edge-local pass)
+          std::vector<V> suf = path_suffix_sums<A>(std::span<const V>(x), cl);
+          for (std::size_t i = 0; i < chain.size(); ++i)
+            s[static_cast<std::size_t>(chain[i])] = std::move(suf[i]);
+        });
     level.charge_parallel(chain_ledgers);
     ledger.charge_sequential(level);
   }
@@ -81,28 +106,35 @@ std::vector<typename A::value_type> hl_ancestor_sums(
   const auto chains = chains_by_hl_depth(t, hld);
   std::vector<V> p(static_cast<std::size_t>(t.n()), A::identity());
   for (std::size_t d = 0; d < chains.size(); ++d) {
+    const auto& level_chains = chains[d];
+    std::size_t level_nodes = 0;
+    for (const auto& chain : level_chains) level_nodes += chain.size();
     Ledger level;
-    std::vector<Ledger> chain_ledgers;
-    for (const std::vector<NodeId>& chain : chains[d]) {
-      // Carry = ancestor sum of the chain head's parent (shallower depth,
-      // already computed).
-      const NodeId head = chain.front();
-      const NodeId above = t.parent(head);
-      std::vector<V> x;
-      x.reserve(chain.size());
-      for (std::size_t i = 0; i < chain.size(); ++i) {
-        V val = input[static_cast<std::size_t>(chain[i])];
-        if (i == 0 && above != kNoNode)
-          val = A::merge(p[static_cast<std::size_t>(above)], std::move(val));
-        x.push_back(std::move(val));
-      }
-      Ledger cl;
-      cl.charge(1);
-      std::vector<V> pre = path_prefix_sums<A>(std::span<const V>(x), cl);
-      for (std::size_t i = 0; i < chain.size(); ++i)
-        p[static_cast<std::size_t>(chain[i])] = std::move(pre[i]);
-      chain_ledgers.push_back(std::move(cl));
-    }
+    std::vector<Ledger> chain_ledgers(level_chains.size());
+    // Node-disjoint chains; the carry reads only shallower (already
+    // complete) levels, so parallel execution stays bit-identical.
+    ThreadPool::global().run(
+        level_chains.size(), detail::chain_level_width(level_chains.size(), level_nodes),
+        [&](std::size_t ci) {
+          const std::vector<NodeId>& chain = level_chains[ci];
+          // Carry = ancestor sum of the chain head's parent (shallower
+          // depth, already computed).
+          const NodeId head = chain.front();
+          const NodeId above = t.parent(head);
+          std::vector<V> x;
+          x.reserve(chain.size());
+          for (std::size_t i = 0; i < chain.size(); ++i) {
+            V val = input[static_cast<std::size_t>(chain[i])];
+            if (i == 0 && above != kNoNode)
+              val = A::merge(p[static_cast<std::size_t>(above)], std::move(val));
+            x.push_back(std::move(val));
+          }
+          Ledger& cl = chain_ledgers[ci];
+          cl.charge(1);
+          std::vector<V> pre = path_prefix_sums<A>(std::span<const V>(x), cl);
+          for (std::size_t i = 0; i < chain.size(); ++i)
+            p[static_cast<std::size_t>(chain[i])] = std::move(pre[i]);
+        });
     level.charge_parallel(chain_ledgers);
     ledger.charge_sequential(level);
   }

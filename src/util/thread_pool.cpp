@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace umc {
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::configured_threads() {
+  static const int value = [] {
+    int t = 0;
+    if (const char* env = std::getenv("UMC_THREADS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && parsed > 0) t = static_cast<int>(parsed);
+    }
+    if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+    if (t <= 0) t = 1;
+    return t > 64 ? 64 : t;
+  }();
+  return value;
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::ensure_workers(int want) {
+  // Caller holds mu_.
+  while (static_cast<int>(threads_.size()) < want) {
+    const int id = static_cast<int>(threads_.size());
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& job) {
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= total_) return;
+      i = next_++;
+    }
+    job(i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || (generation_ != seen && id < allowed_workers_); });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    drain(*job);
+  }
+}
+
+void ThreadPool::run(std::size_t count, int width,
+                     const std::function<void(std::size_t)>& job) {
+  if (count == 0) return;
+  if (width <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UMC_ASSERT_MSG(job_ == nullptr, "ThreadPool::run must not be nested");
+    ensure_workers(width - 1);
+    job_ = &job;
+    next_ = 0;
+    total_ = count;
+    remaining_ = count;
+    allowed_workers_ = width - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    allowed_workers_ = 0;
+  }
+}
+
+}  // namespace umc

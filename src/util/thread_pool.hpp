@@ -1,0 +1,76 @@
+#pragma once
+
+// A small shared worker pool for deterministic chunk-parallel folds.
+//
+// The pool executes index-space jobs: run(count, width, job) invokes
+// job(0), ..., job(count-1) exactly once each, spread over up to `width`
+// threads (the calling thread participates), and returns only when every
+// invocation has finished. Chunk *scheduling* is nondeterministic, so
+// callers must make their outputs independent of execution order — the
+// round-execution engine does this by giving each chunk a disjoint output
+// range and merging per-chunk results in chunk order (the Def. 7
+// determinism contract: results are bit-identical at any thread count).
+//
+// Sizing: the process-wide pool (`ThreadPool::global()`) lazily grows to
+// the widest request it has served. `configured_threads()` reads the
+// UMC_THREADS environment knob (default: hardware concurrency) and is the
+// width used by engines unless overridden per-engine. Jobs must not call
+// back into run() (no nested parallelism).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace umc {
+
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool. Thread-safe.
+  static ThreadPool& global();
+
+  /// The UMC_THREADS knob: a positive integer, defaulting to
+  /// std::thread::hardware_concurrency() (at least 1), clamped to [1, 64].
+  /// Read once at first use.
+  static int configured_threads();
+
+  /// Runs job(i) for every i in [0, count) across up to `width` threads
+  /// (including the caller) and blocks until all invocations finished.
+  /// width <= 1 or count <= 1 degrades to a plain sequential loop on the
+  /// calling thread. Must not be called from inside a running job.
+  void run(std::size_t count, int width, const std::function<void(std::size_t)>& job);
+
+  /// Number of worker threads currently spawned (excludes callers).
+  [[nodiscard]] int workers() const;
+
+ private:
+  void ensure_workers(int want);
+  void worker_loop(int id);
+  void drain(const std::function<void(std::size_t)>& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a generation
+  std::condition_variable done_cv_;   // run() waits here for completion
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+
+  // State of the current generation (guarded by mu_; indices handed out
+  // under the lock — chunk bodies are coarse, so contention is negligible
+  // and the simple locking scheme is trivially race-free).
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t next_ = 0;       // next index to hand out
+  std::size_t total_ = 0;      // indices in this generation
+  std::size_t remaining_ = 0;  // invocations not yet finished
+  int allowed_workers_ = 0;    // workers with id < allowed participate
+};
+
+}  // namespace umc
