@@ -2,6 +2,7 @@
 
 #include <climits>
 #include <cstring>
+#include <utility>
 
 #include "graph/dsu.hpp"
 
@@ -19,6 +20,12 @@ std::vector<std::uint64_t> pack_pattern(const std::vector<bool>& contract) {
   std::vector<std::uint64_t> words(nwords, 0);
   if (nwords == 0) return words;
 #if defined(__GLIBCXX__) && ULONG_MAX == 0xffffffffffffffffULL
+  // The memcpy leans on libstdc++ internals (_Bit_iterator's _M_p word
+  // pointer); a renamed member fails to compile, and this guard catches a
+  // changed word type before it can silently mis-pack.
+  static_assert(sizeof(*std::declval<std::vector<bool>::const_iterator>()._M_p) ==
+                    sizeof(std::uint64_t),
+                "vector<bool> storage word must be 64-bit for the memcpy fast path");
   std::memcpy(words.data(), contract.begin()._M_p, nwords * sizeof(std::uint64_t));
 #else
   for (std::size_t w = 0; w < nwords; ++w) {
@@ -137,8 +144,13 @@ const RoundPlan& RoundEngine::plan(const std::vector<bool>& contract) {
     }
   }
 
-  // Insert, evicting the least-recently-used entry when full.
+  // Insert, evicting the least-recently-used entry when full. The full
+  // capacity is reserved before the first insertion so push_back never
+  // reallocates — plan() hands out references into cache_, and they must
+  // stay valid across later insertions (see plan()'s contract in the
+  // header).
   if (cache_.size() < kPlanCacheCapacity) {
+    cache_.reserve(kPlanCacheCapacity);
     cache_.push_back(CacheEntry{hash, std::move(plan), clock_});
     return cache_.back().plan;
   }

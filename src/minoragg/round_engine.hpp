@@ -146,7 +146,8 @@ class RoundEngine {
 
   /// The cached plan for a contraction pattern; builds (and caches) it on
   /// miss. The reference stays valid until a later plan() call inserts a
-  /// new pattern into a full cache.
+  /// new pattern into a full cache, which evicts (and invalidates) only the
+  /// least-recently-used entry; cache storage itself never reallocates.
   const RoundPlan& plan(const std::vector<bool>& contract);
 
   [[nodiscard]] std::size_t plan_cache_hits() const { return hits_; }
@@ -236,6 +237,9 @@ RoundResult<typename CAgg::value_type, typename XAgg::value_type> RoundEngine::e
   UMC_ASSERT(node_input.size() == n);
   const std::size_t groups = static_cast<std::size_t>(plan.num_groups);
   const int width = effective_width(n + plan.edges.size());
+  // Edge callbacks may consult g.csr(), whose lazy build is not thread-safe
+  // (graph.hpp): force it on this thread before fanning out.
+  if (width > 1) (void)g_->csr();
 
   RoundResult<Y, Z> out;
   out.supernode = plan.supernode;

@@ -49,17 +49,35 @@ void ThreadPool::ensure_workers(int want) {
   }
 }
 
-void ThreadPool::drain(const std::function<void(std::size_t)>& job) {
+namespace {
+// Set while a thread executes a pool job body. Detects nested run() calls,
+// which would deadlock on run_mu_ instead of tripping a state assert.
+thread_local bool tls_in_pool_job = false;
+}  // namespace
+
+void ThreadPool::drain(std::uint64_t gen) {
   for (;;) {
     std::size_t i;
+    const std::function<void(std::size_t)>* job = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (next_ >= total_) return;
+      // A worker can stall between waking and arriving here; by then its
+      // generation may have completed and a newer run() begun. Re-check the
+      // generation at every pop (and re-read job_ under the same lock) so a
+      // stale worker never executes a dead callable or steals the new
+      // generation's indices.
+      if (generation_ != gen || next_ >= total_) return;
       i = next_++;
+      job = job_;
     }
-    job(i);
+    tls_in_pool_job = true;
+    (*job)(i);
+    tls_in_pool_job = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Between the pop and this decrement, run(gen) is still blocked on
+      // remaining_ > 0, so generation_ cannot have advanced: the decrement
+      // always targets our own generation.
       if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
@@ -68,15 +86,13 @@ void ThreadPool::drain(const std::function<void(std::size_t)>& job) {
 void ThreadPool::worker_loop(int id) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || (generation_ != seen && id < allowed_workers_); });
       if (stop_) return;
       seen = generation_;
-      job = job_;
     }
-    drain(*job);
+    drain(seen);
   }
 }
 
@@ -87,19 +103,25 @@ void ThreadPool::run(std::size_t count, int width,
     for (std::size_t i = 0; i < count; ++i) job(i);
     return;
   }
+  UMC_ASSERT_MSG(!tls_in_pool_job, "ThreadPool::run must not be nested");
+  // Serializes distinct submitting threads (e.g. two Networks driven from
+  // different host threads sharing global()): one run owns the generation
+  // state at a time; the next submitter blocks here until it is released.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::uint64_t gen;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    UMC_ASSERT_MSG(job_ == nullptr, "ThreadPool::run must not be nested");
+    UMC_ASSERT_MSG(job_ == nullptr, "generation state leaked from a previous run");
     ensure_workers(width - 1);
     job_ = &job;
     next_ = 0;
     total_ = count;
     remaining_ = count;
     allowed_workers_ = width - 1;
-    ++generation_;
+    gen = ++generation_;
   }
   work_cv_.notify_all();
-  drain(job);
+  drain(gen);
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return remaining_ == 0; });

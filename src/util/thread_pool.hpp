@@ -45,7 +45,8 @@ class ThreadPool {
   /// Runs job(i) for every i in [0, count) across up to `width` threads
   /// (including the caller) and blocks until all invocations finished.
   /// width <= 1 or count <= 1 degrades to a plain sequential loop on the
-  /// calling thread. Must not be called from inside a running job.
+  /// calling thread. Must not be called from inside a running job; calls
+  /// from distinct threads are serialized (one run owns the pool at a time).
   void run(std::size_t count, int width, const std::function<void(std::size_t)>& job);
 
   /// Number of worker threads currently spawned (excludes callers).
@@ -54,8 +55,11 @@ class ThreadPool {
  private:
   void ensure_workers(int want);
   void worker_loop(int id);
-  void drain(const std::function<void(std::size_t)>& job);
+  /// Pops and executes indices of generation `gen`, returning as soon as the
+  /// pool has moved past it (stale wake-ups execute nothing).
+  void drain(std::uint64_t gen);
 
+  std::mutex run_mu_;  // serializes external run() submitters
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for a generation
   std::condition_variable done_cv_;   // run() waits here for completion
