@@ -1,0 +1,99 @@
+// Experiment E19 (fault model): the round-count price of reliable delivery.
+//
+// Compiled Borůvka (the E15 workload) runs over a fault::ReliableChannel
+// whose FaultModel drops each physical message with probability p. Reported
+// per (family, p): real CONGEST rounds, the reliability multiplier
+// rounds(p) / rounds(0), retransmissions, backoff idle rounds, and mst_ok
+// (1 iff the tree matches the fault-free run — correctness under loss is
+// the point, the multiplier is its price).
+//
+// p = 0 is the identity row: the trivial plan short-circuits to the plain
+// simulator, so its rounds equal the fault-free baseline exactly and the
+// multiplier column starts at 1.
+//
+// Stop-and-wait ARQ costs 3 physical rounds per attempt, so the multiplier
+// floor is 3x; each retry round re-draws fresh seeded randomness, so the
+// expected attempts per logical round grow like 1/(1-q) with q the
+// probability some slot in the round fails — visible as the gentle climb
+// from p = 0.01 to p = 0.3.
+
+#include "bench_common.hpp"
+#include "congest/compiled_network.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/reliable_channel.hpp"
+#include "graph/properties.hpp"
+
+namespace umc {
+namespace {
+
+/// p encoded as an integer per-mille so it can ride in a benchmark Arg.
+constexpr std::int64_t kPerMille[] = {0, 10, 100, 300};
+
+void run_fault_overhead(benchmark::State& state, const WeightedGraph& g) {
+  const double p = static_cast<double>(state.range(1)) / 1000.0;
+  Rng rng(19);
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()));
+  for (auto& c : cost) c = rng.next_in(1, 1000);
+
+  const congest::CompiledBoruvkaResult base = congest::compiled_boruvka(g, cost);
+
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_p = p;
+  congest::CompiledBoruvkaResult res{};
+  fault::ReliableStats stats{};
+  fault::FaultStats faults{};
+  for (auto _ : state) {
+    fault::FaultModel model(g, plan);
+    fault::ReliableChannel net(g, &model);
+    res = congest::compiled_boruvka(net, cost);
+    stats = net.stats();
+    faults = model.stats();
+    benchmark::DoNotOptimize(res);
+  }
+
+  state.counters["n"] = g.n();
+  state.counters["D"] = approx_diameter(g);
+  state.counters["drop_p_permille"] = static_cast<double>(state.range(1));
+  state.counters["rounds_faultfree"] = static_cast<double>(base.congest_rounds);
+  state.counters["rounds_reliable"] = static_cast<double>(res.congest_rounds);
+  state.counters["reliability_multiplier"] =
+      static_cast<double>(res.congest_rounds) / static_cast<double>(base.congest_rounds);
+  state.counters["retransmissions"] = static_cast<double>(stats.retransmissions);
+  state.counters["backoff_rounds"] = static_cast<double>(stats.backoff_rounds);
+  state.counters["drops_injected"] = static_cast<double>(faults.drops);
+  state.counters["mst_ok"] = res.tree == base.tree ? 1.0 : 0.0;
+}
+
+void BM_FaultOverheadGrid(benchmark::State& state) {
+  const NodeId side = static_cast<NodeId>(state.range(0));
+  run_fault_overhead(state, grid_graph(side, side));
+}
+void BM_FaultOverheadEr(benchmark::State& state) {
+  run_fault_overhead(state,
+                     benchutil::weighted_er(static_cast<NodeId>(state.range(0)), 8.0, 43));
+}
+void BM_FaultOverheadPath(benchmark::State& state) {
+  run_fault_overhead(state, path_graph(static_cast<NodeId>(state.range(0))));
+}
+
+void fault_args(benchmark::internal::Benchmark* b, std::initializer_list<std::int64_t> sizes) {
+  for (const std::int64_t s : sizes)
+    for (const std::int64_t pm : kPerMille) b->Args({s, pm});
+}
+
+BENCHMARK(BM_FaultOverheadGrid)
+    ->Apply([](auto* b) { fault_args(b, {8, 16}); })
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultOverheadEr)
+    ->Apply([](auto* b) { fault_args(b, {64, 256}); })
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultOverheadPath)
+    ->Apply([](auto* b) { fault_args(b, {64, 256}); })
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

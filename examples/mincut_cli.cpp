@@ -1,6 +1,7 @@
 // Command-line front end: exact min-cut of a weighted edge-list file.
 //
 //   $ ./example_mincut_cli <graph.txt> [--seed S] [--trees T] [--witness]
+//                          [--self-check]
 //
 // File format (see graph/io.hpp):
 //   <n>
@@ -9,11 +10,18 @@
 // Prints the cut value, the defining tree edges, the round accounting, and
 // (with --witness) the full bipartition and crossing edge list. With no
 // file argument, generates a demo network and prints its edge list first.
+//
+// Ingestion is the untrusted path: unknown flags, malformed flag values,
+// and malformed graph files exit 2 with a message on stderr (no aborts, no
+// exceptions). --self-check runs the guarded pipeline: independent spot
+// checks on the answer, degrading to the gather baseline with a printed
+// diagnosis if they fail. Exit codes: 0 ok, 1 oracle mismatch, 2 bad input.
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <string>
 
 #include "baseline/stoer_wagner.hpp"
 #include "congest/compile.hpp"
@@ -28,34 +36,75 @@
 namespace {
 
 void usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [graph.txt] [--seed S] [--trees T] [--witness]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [graph.txt] [--seed S] [--trees T] [--witness] [--self-check]\n",
+               argv0);
+}
+
+/// Strict integer flag value: entire token must parse, range-checked.
+bool parse_flag_int(const char* tok, long long lo, long long hi, long long& out) {
+  const char* last = tok + std::strlen(tok);
+  const auto [ptr, ec] = std::from_chars(tok, last, out);
+  return ec == std::errc{} && ptr == last && out >= lo && out <= hi;
+}
+
+struct Options {
+  std::string path;
+  std::uint64_t seed = 1;
+  int max_trees = 16;
+  bool want_witness = false;
+  bool self_check = false;
+};
+
+/// Returns false (after printing the cause) on any malformed argv.
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--seed") == 0 || std::strcmp(a, "--trees") == 0) {
+      const bool is_seed = std::strcmp(a, "--seed") == 0;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", a);
+        return false;
+      }
+      long long v = 0;
+      if (!parse_flag_int(argv[++i], is_seed ? 0 : 1, 1LL << 32, v)) {
+        std::fprintf(stderr, "error: bad %s value '%s'\n", a, argv[i]);
+        return false;
+      }
+      if (is_seed)
+        opt.seed = static_cast<std::uint64_t>(v);
+      else
+        opt.max_trees = static_cast<int>(v);
+    } else if (std::strcmp(a, "--witness") == 0) {
+      opt.want_witness = true;
+    } else if (std::strcmp(a, "--self-check") == 0) {
+      opt.self_check = true;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a);
+      return false;
+    } else if (!opt.path.empty()) {
+      std::fprintf(stderr, "error: more than one input file ('%s' and '%s')\n",
+                   opt.path.c_str(), a);
+      return false;
+    } else {
+      opt.path = a;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace umc;
-  std::string path;
-  std::uint64_t seed = 1;
-  int max_trees = 16;
-  bool want_witness = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--trees") == 0 && i + 1 < argc) {
-      max_trees = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--witness") == 0) {
-      want_witness = true;
-    } else if (argv[i][0] == '-') {
-      usage(argv[0]);
-      return 2;
-    } else {
-      path = argv[i];
-    }
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
   }
 
   WeightedGraph g;
-  if (path.empty()) {
+  if (opt.path.empty()) {
     Rng demo_rng(7);
     g = erdos_renyi_connected(24, 0.2, demo_rng);
     randomize_weights(g, 1, 30, demo_rng);
@@ -63,43 +112,50 @@ int main(int argc, char** argv) {
     write_edge_list(os, g);
     std::printf("no input file; demo network:\n%s\n", os.str().c_str());
   } else {
-    try {
-      g = read_edge_list_file(path);
-    } catch (const invariant_error& e) {
-      std::fprintf(stderr, "error reading %s: %s\n", path.c_str(), e.what());
+    Expected<WeightedGraph> parsed = try_read_edge_list_file(opt.path);
+    if (!parsed) {
+      std::fprintf(stderr, "error reading %s: %s\n", opt.path.c_str(),
+                   parsed.error().to_string().c_str());
       return 2;
     }
+    g = std::move(parsed.value());
   }
   if (g.n() < 2 || !is_connected(g)) {
     std::fprintf(stderr, "error: the graph must be connected with >= 2 nodes\n");
     return 2;
   }
 
-  Rng rng(seed);
   minoragg::Ledger ledger;
-  mincut::PackingConfig config;
-  config.max_trees = max_trees;
-  const mincut::ExactMinCutResult cut = mincut::exact_mincut(g, rng, ledger, config);
+  mincut::GuardConfig guard;
+  guard.self_check = opt.self_check;
+  guard.packing.max_trees = opt.max_trees;
+  const mincut::GuardedMinCutResult cut =
+      mincut::exact_mincut_guarded(g, opt.seed, ledger, guard);
   const Weight reference = baseline::stoer_wagner(g).value;
 
+  if (opt.self_check || cut.diagnosis.used_fallback)
+    std::printf("self-check: %s\n", cut.diagnosis.to_string().c_str());
   std::printf("min-cut value: %lld  (oracle: %lld, %s)\n", static_cast<long long>(cut.value),
               static_cast<long long>(reference),
               cut.value == reference ? "match" : "MISMATCH");
-  const congest::CompileCost cost = congest::measure_compile_cost(g, ledger, seed);
+  const congest::CompileCost cost = congest::measure_compile_cost(g, ledger, opt.seed);
   std::printf("minor-aggregation rounds: %lld  |  D=%d  |  congest(general)=%lld  "
               "congest(excl-minor)=%lld\n",
               static_cast<long long>(cost.ma_rounds), cost.diameter,
               static_cast<long long>(cost.congest_rounds_general()),
               static_cast<long long>(cost.congest_rounds_excluded_minor()));
 
-  if (want_witness && cut.e != kNoEdge) {
+  if (opt.want_witness && !cut.diagnosis.used_fallback && cut.primary.e != kNoEdge) {
     // Materialize the cut against the winning packing tree.
-    Rng replay(seed);
+    Rng replay(opt.seed);
     minoragg::Ledger scratch;
+    mincut::PackingConfig config;
+    config.max_trees = opt.max_trees;
     const mincut::TreePacking packing = mincut::tree_packing(g, replay, scratch, config);
-    const RootedTree t(g, packing.trees[static_cast<std::size_t>(cut.winning_tree)], 0);
-    const mincut::CutWitness w =
-        mincut::cut_witness(t, mincut::CutResult{cut.value, cut.e, cut.f});
+    const RootedTree t(g, packing.trees[static_cast<std::size_t>(cut.primary.winning_tree)],
+                       0);
+    const mincut::CutWitness w = mincut::cut_witness(
+        t, mincut::CutResult{cut.primary.value, cut.primary.e, cut.primary.f});
     std::printf("witness: one side = {");
     for (NodeId v = 0; v < g.n(); ++v)
       if (w.side[static_cast<std::size_t>(v)]) std::printf(" %d", v);
@@ -108,7 +164,7 @@ int main(int argc, char** argv) {
       std::printf(" {%d,%d}w%lld", g.edge(e).u, g.edge(e).v,
                   static_cast<long long>(g.edge(e).w));
     std::printf("\nwitness value: %lld (%s)\n", static_cast<long long>(w.value),
-                w.value == cut.value ? "consistent" : "INCONSISTENT");
+                w.value == cut.primary.value ? "consistent" : "INCONSISTENT");
   }
   return cut.value == reference ? 0 : 1;
 }

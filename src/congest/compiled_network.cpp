@@ -1,6 +1,7 @@
 #include "congest/compiled_network.hpp"
 
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "util/assert.hpp"
@@ -108,8 +109,37 @@ CompiledRoundResult execute_ma_round(
                           aggregate_op);
 }
 
-CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
+namespace {
+
+/// Journal every node's Borůvka state (its incident selected edges) for
+/// MA round `ma_round`.
+void checkpoint_selected(NodeCheckpointStore& ckpt, const WeightedGraph& g,
+                         const std::vector<bool>& selected, std::int64_t ma_round) {
+  const CsrAdjacency& csr = g.csr();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    std::vector<std::int64_t> words;
+    for (const AdjEntry& a : csr.row(v))
+      if (selected[static_cast<std::size_t>(a.edge)]) words.push_back(a.edge);
+    ckpt.save(v, ma_round, std::move(words));
+  }
+}
+
+/// Rebuild the global selected set as the union of all node journals — the
+/// recovery path a crash-restarted node takes.
+[[nodiscard]] std::vector<bool> restore_selected(const NodeCheckpointStore& ckpt,
+                                                 const WeightedGraph& g) {
+  std::vector<bool> selected(static_cast<std::size_t>(g.m()), false);
+  for (NodeId v = 0; v < g.n(); ++v)
+    for (const std::int64_t e : ckpt.last(v).words)
+      selected[static_cast<std::size_t>(e)] = true;
+  return selected;
+}
+
+}  // namespace
+
+CompiledBoruvkaResult compiled_boruvka(CongestNetwork& net,
                                        std::span<const std::int64_t> cost) {
+  const WeightedGraph& g = net.graph();
   UMC_ASSERT(static_cast<EdgeId>(cost.size()) == g.m());
   // Pack (cost, edge id) into one CONGEST word: cost in the high bits, id
   // in the low 31. Requires cost < 2^32 (weights are poly(n)).
@@ -119,36 +149,78 @@ CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
     return static_cast<EdgeId>(key & ((1LL << 31) - 1));
   };
 
-  CongestNetwork net(g);
+  FaultInjector* injector = net.fault_injector();
   minoragg::RoundEngine engine(g);  // one plan cache across all iterations
+  const std::int64_t net_start = net.rounds();
   CompiledBoruvkaResult out;
   std::vector<bool> selected(static_cast<std::size_t>(g.m()), false);
+  NodeCheckpointStore ckpt(g.n());
+  if (injector != nullptr) checkpoint_selected(ckpt, g, selected, /*ma_round=*/0);
   const std::vector<std::int64_t> zeros(static_cast<std::size_t>(g.n()), 0);
+  int consecutive_rollbacks = 0;
+  std::vector<NodeId> crashed;
   for (;;) {
-    const CompiledRoundResult round = execute_ma_round(
-        net, engine, selected, zeros, PartwiseOp::kSum,
-        [&](EdgeId e, std::int64_t, std::int64_t) {
-          const std::int64_t key = pack(cost[static_cast<std::size_t>(e)], e);
-          return std::pair{key, key};
-        },
-        PartwiseOp::kMin);
+    const std::int64_t round_start = net.rounds();
+    std::optional<CompiledRoundResult> round;
+    try {
+      round = execute_ma_round(
+          net, engine, selected, zeros, PartwiseOp::kSum,
+          [&](EdgeId e, std::int64_t, std::int64_t) {
+            const std::int64_t key = pack(cost[static_cast<std::size_t>(e)], e);
+            return std::pair{key, key};
+          },
+          PartwiseOp::kMin);
+    } catch (const invariant_error&) {
+      // A mid-round invariant failure on a faulty network is expected when
+      // a node crash-stopped and its traffic vanished — recover below. On a
+      // clean network (or with no crash in this window) it is a real bug.
+      crashed.clear();
+      if (injector != nullptr) injector->crashed_between(round_start, net.rounds(), crashed);
+      if (crashed.empty()) throw;
+    }
+    if (round.has_value() && injector != nullptr) {
+      crashed.clear();
+      injector->crashed_between(round_start, net.rounds(), crashed);
+    }
+    if (injector != nullptr && !crashed.empty()) {
+      // Crash-stop during this MA round: the affected nodes lost their
+      // volatile round state. Discard the round, restore every node from
+      // its last consistent checkpoint, and re-execute; the wasted rounds
+      // stay on the counter (that IS the measured cost of the crash). The
+      // round counter advanced, so the retry sees a fresh fault schedule.
+      ++out.rollbacks;
+      out.recoveries += static_cast<int>(crashed.size());
+      for (const NodeId v : crashed) injector->note_recovery(net.rounds(), v);
+      selected = restore_selected(ckpt, g);
+      UMC_ASSERT_MSG(++consecutive_rollbacks <= 64,
+                     "crash rate too high: no crash-free MA round in 64 attempts");
+      continue;
+    }
+    consecutive_rollbacks = 0;
     ++out.ma_rounds;
 
     std::set<EdgeId> chosen;
     bool single = true;
     for (NodeId v = 0; v < g.n(); ++v) {
-      if (round.supernode[static_cast<std::size_t>(v)] != round.supernode[0]) single = false;
-      const std::int64_t key = round.aggregate[static_cast<std::size_t>(v)];
+      if (round->supernode[static_cast<std::size_t>(v)] != round->supernode[0]) single = false;
+      const std::int64_t key = round->aggregate[static_cast<std::size_t>(v)];
       if (key != std::numeric_limits<std::int64_t>::max()) chosen.insert(unpack_edge(key));
     }
     if (single) break;
     UMC_ASSERT_MSG(!chosen.empty(), "compiled boruvka requires a connected graph");
     for (const EdgeId e : chosen) selected[static_cast<std::size_t>(e)] = true;
+    if (injector != nullptr) checkpoint_selected(ckpt, g, selected, out.ma_rounds);
   }
   for (EdgeId e = 0; e < g.m(); ++e)
     if (selected[static_cast<std::size_t>(e)]) out.tree.push_back(e);
-  out.congest_rounds = net.rounds();
+  out.congest_rounds = net.rounds() - net_start;
   return out;
+}
+
+CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
+                                       std::span<const std::int64_t> cost) {
+  CongestNetwork net(g);
+  return compiled_boruvka(net, cost);
 }
 
 }  // namespace umc::congest

@@ -19,10 +19,13 @@
 // algorithm, complementing the multiplicative cost model in compile.hpp.
 
 #include <functional>
+#include <limits>
 #include <span>
+#include <vector>
 
 #include "congest/partwise.hpp"
 #include "minoragg/round_engine.hpp"
+#include "util/assert.hpp"
 
 namespace umc::congest {
 
@@ -55,15 +58,69 @@ struct CompiledRoundResult {
                                                               std::int64_t)>& edge_values,
     PartwiseOp aggregate_op);
 
+/// Models each node's stable storage: the algorithm state a node journals
+/// after every committed Minor-Aggregation round, and restores from after a
+/// crash-restart. For Borůvka the per-node words are the ids of the node's
+/// incident selected edges; the global selected set is reconstructible as
+/// the union of all journals (every selected edge is incident to two
+/// nodes, so it survives even a one-endpoint loss).
+class NodeCheckpointStore {
+ public:
+  explicit NodeCheckpointStore(NodeId n) : slots_(static_cast<std::size_t>(n)) {}
+
+  struct Snapshot {
+    std::int64_t ma_round = -1;  // -1: nothing journaled yet
+    std::vector<std::int64_t> words;
+  };
+
+  void save(NodeId v, std::int64_t ma_round, std::vector<std::int64_t> words) {
+    Snapshot& s = slots_[static_cast<std::size_t>(v)];
+    UMC_ASSERT_MSG(ma_round > s.ma_round, "checkpoints advance monotonically");
+    s.ma_round = ma_round;
+    s.words = std::move(words);
+  }
+
+  [[nodiscard]] const Snapshot& last(NodeId v) const {
+    return slots_[static_cast<std::size_t>(v)];
+  }
+
+  /// The newest round every node has journaled — the last consistent round
+  /// a crash-restarted node can be rolled back to.
+  [[nodiscard]] std::int64_t consistent_round() const {
+    std::int64_t r = std::numeric_limits<std::int64_t>::max();
+    for (const Snapshot& s : slots_) r = std::min(r, s.ma_round);
+    return slots_.empty() ? -1 : r;
+  }
+
+ private:
+  std::vector<Snapshot> slots_;
+};
+
 struct CompiledBoruvkaResult {
   std::vector<EdgeId> tree;
   std::int64_t congest_rounds = 0;  // REAL total, message-level
-  int ma_rounds = 0;                // Borůvka iterations executed
+  int ma_rounds = 0;                // Borůvka iterations committed
+  /// Crash recovery accounting (0 on fault-free networks): MA rounds
+  /// discarded because a node crash-stopped mid-round, and node restores
+  /// performed from the checkpoint store.
+  int rollbacks = 0;
+  int recoveries = 0;
 };
 
 /// Borůvka MST executed entirely through compiled Minor-Aggregation rounds
 /// on the CONGEST network (costs as external int64 values; ties by id).
 [[nodiscard]] CompiledBoruvkaResult compiled_boruvka(const WeightedGraph& g,
+                                                     std::span<const std::int64_t> cost);
+
+/// Same, on a caller-supplied network — pass a fault::ReliableChannel to
+/// execute under seeded faults. If the network carries a FaultInjector,
+/// every committed MA round journals per-node state into a
+/// NodeCheckpointStore; an MA round during which any node crash-stopped is
+/// rolled back (per-node state rebuilt from the journals of the last
+/// consistent round) and re-executed, so restarted nodes rejoin from their
+/// checkpoint instead of poisoning the run. The wasted traffic stays on the
+/// round counter.
+[[nodiscard]] CompiledBoruvkaResult compiled_boruvka(CongestNetwork& net,
                                                      std::span<const std::int64_t> cost);
 
 }  // namespace umc::congest

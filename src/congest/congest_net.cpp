@@ -1,5 +1,7 @@
 #include "congest/congest_net.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace umc::congest {
@@ -18,16 +20,23 @@ void CongestNetwork::send(NodeId from, EdgeId via, std::int64_t payload, std::in
   staged_.push_back(Message{from, via, payload, aux});
 }
 
-void CongestNetwork::end_round() {
+void CongestNetwork::clear_staging() {
+  staged_.clear();
+  std::fill(slot_used_.begin(), slot_used_.end(), false);
+}
+
+void CongestNetwork::deliver_physical() {
   // Inboxes hold only the latest round's traffic.
   for (auto& box : inbox_) box.clear();
+  if (fault_ != nullptr) fault_->filter_wire(rounds_, staged_);
   for (const Message& m : staged_) {
     const NodeId to = g_->edge(m.via).other(m.from);
     inbox_[static_cast<std::size_t>(to)].push_back(m);
   }
-  staged_.clear();
-  std::fill(slot_used_.begin(), slot_used_.end(), false);
+  clear_staging();
   ++rounds_;
 }
+
+void CongestNetwork::end_round() { deliver_physical(); }
 
 }  // namespace umc::congest

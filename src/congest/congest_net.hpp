@@ -9,6 +9,13 @@
 //
 // Algorithms are written as explicit round loops: stage messages with
 // `send`, call `end_round` to deliver, read `inbox`.
+//
+// Fault injection: a FaultInjector attached via `attach_fault_injector` is
+// consulted on every physical delivery and may drop, duplicate, or corrupt
+// wire traffic and suppress messages of crash-stopped nodes. `end_round` is
+// virtual so a reliability layer (fault::ReliableChannel) can compile one
+// logical round into several physical ack/retry rounds while algorithm code
+// stays unchanged.
 
 #include <cstdint>
 #include <vector>
@@ -24,11 +31,42 @@ struct Message {
   /// Second word of the message (a CONGEST message is O(log n) bits; a
   /// (part-id, value) pair still fits).
   std::int64_t aux = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Hook consulted by CongestNetwork on every physical round delivery.
+/// Implemented by fault::FaultModel; declared here so the congest layer
+/// carries no dependency on the fault subsystem.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Mutate round `round`'s wire traffic in place: drop, duplicate, or
+  /// bit-corrupt messages, and erase traffic from/to crash-stopped nodes.
+  virtual void filter_wire(std::int64_t round, std::vector<Message>& wire) = 0;
+
+  /// False while v is crash-stopped at `round` (its volatile state is gone
+  /// and its sends/receives vanish until restart).
+  [[nodiscard]] virtual bool alive(std::int64_t round, NodeId v) const = 0;
+
+  /// Append (deduplicated, ascending) nodes whose crash STARTED in
+  /// [r0, r1). Compiled drivers use this to decide when to roll back to the
+  /// last checkpoint.
+  virtual void crashed_between(std::int64_t r0, std::int64_t r1,
+                               std::vector<NodeId>& out) const = 0;
+
+  /// Recovery notification: a driver restored node v from its checkpoint at
+  /// round `round`. Default is a no-op; FaultModel records it in the log.
+  virtual void note_recovery(std::int64_t round, NodeId v) { (void)round; (void)v; }
 };
 
 class CongestNetwork {
  public:
   explicit CongestNetwork(const WeightedGraph& g);
+  virtual ~CongestNetwork() = default;
+  CongestNetwork(const CongestNetwork&) = delete;
+  CongestNetwork& operator=(const CongestNetwork&) = delete;
 
   [[nodiscard]] const WeightedGraph& graph() const { return *g_; }
 
@@ -37,8 +75,11 @@ class CongestNetwork {
   /// per round — a second send on the same slot violates the model.
   void send(NodeId from, EdgeId via, std::int64_t payload, std::int64_t aux = 0);
 
-  /// Deliver staged messages and advance the round counter.
-  void end_round();
+  /// Deliver staged messages and advance the round counter. The base class
+  /// performs exactly one physical round (through the fault injector, if
+  /// any); fault::ReliableChannel overrides this with an ack/retry
+  /// compilation of the same logical round.
+  virtual void end_round();
 
   /// Messages delivered to v in the most recent round.
   [[nodiscard]] const std::vector<Message>& inbox(NodeId v) const {
@@ -51,8 +92,23 @@ class CongestNetwork {
   /// synchronized schedule).
   void charge_idle(std::int64_t r) { rounds_ += r; }
 
+  /// Attach (or detach, with nullptr) the fault hook. The injector is not
+  /// owned and must outlive the network.
+  void attach_fault_injector(FaultInjector* f) { fault_ = f; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
+
+ protected:
+  /// One physical round: run the staged traffic through the fault injector,
+  /// deliver survivors, clear staging, advance the round counter.
+  void deliver_physical();
+
+  [[nodiscard]] std::vector<Message>& staged() { return staged_; }
+  [[nodiscard]] std::vector<std::vector<Message>>& inboxes() { return inbox_; }
+  void clear_staging();
+
  private:
   const WeightedGraph* g_;
+  FaultInjector* fault_ = nullptr;
   std::int64_t rounds_ = 0;
   std::vector<Message> staged_;
   std::vector<bool> slot_used_;  // 2 slots per edge: 2*e + (from==edge.v)

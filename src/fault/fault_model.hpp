@@ -1,0 +1,124 @@
+#pragma once
+
+// Deterministic, seeded fault injection for the CONGEST simulator.
+//
+// A FaultPlan describes the adversary: per-message drop / duplication /
+// bit-corruption probabilities and a per-(node, round) crash-stop
+// probability with a fixed restart delay. A FaultModel turns the plan into
+// concrete injected events, hooked into CongestNetwork::deliver_physical
+// via the FaultInjector interface.
+//
+// Determinism contract: every decision is a pure function of
+// (plan.seed, round, position) — position being the (edge, direction) wire
+// slot for message faults and the node id for crashes — hashed through
+// mix64. Schedules therefore never depend on message staging order, thread
+// width, or how often `alive` is queried: the same seed replays the same
+// fault history, event for event, and the log below is the replayable
+// record the determinism tests diff.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "congest/congest_net.hpp"
+#include "graph/graph.hpp"
+
+namespace umc::fault {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Per physical message: probability the wire eats it.
+  double drop_p = 0.0;
+  /// Per physical message: probability the wire delivers it twice.
+  double dup_p = 0.0;
+  /// Per physical message: probability exactly one bit of payload or aux is
+  /// flipped in transit.
+  double corrupt_p = 0.0;
+  /// Per (node, round): probability a crash-stop starts this round.
+  double crash_p = 0.0;
+  /// Rounds a crashed node stays down before restarting.
+  std::int64_t crash_down_rounds = 3;
+  /// Faults only inside [first_faulty_round, last_faulty_round] — lets
+  /// setup phases run clean and lets tests confine crashes to a window.
+  std::int64_t first_faulty_round = 0;
+  std::int64_t last_faulty_round = std::numeric_limits<std::int64_t>::max();
+
+  [[nodiscard]] bool faulty_at(std::int64_t round) const {
+    return round >= first_faulty_round && round <= last_faulty_round;
+  }
+
+  /// An all-zero plan injects nothing; layers treat it as "no adversary"
+  /// and stay on the fault-free fast path (bit-identical to no plan).
+  [[nodiscard]] bool trivial() const {
+    return drop_p <= 0.0 && dup_p <= 0.0 && corrupt_p <= 0.0 && crash_p <= 0.0;
+  }
+};
+
+enum class FaultKind {
+  kDrop,       // wire ate a message
+  kDuplicate,  // wire delivered a message twice
+  kCorrupt,    // one bit of a message flipped in transit
+  kCrashDrop,  // message suppressed because an endpoint was down
+  kCrash,      // node crash-stopped (start of a down window)
+  kRestart,    // node came back up
+  kRecovery,   // a driver restored the node from its checkpoint
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  std::int64_t round = 0;
+  FaultKind kind = FaultKind::kDrop;
+  NodeId node = kNoNode;  // crash / restart / recovery / crash-drop endpoint
+  EdgeId edge = kNoEdge;  // message faults
+  int direction = 0;      // 0: u->v, 1: v->u (the congest wire-slot bit)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultStats {
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t corruptions = 0;
+  std::int64_t crash_drops = 0;
+  std::int64_t crashes = 0;
+  std::int64_t recoveries = 0;
+  std::int64_t messages_seen = 0;
+};
+
+class FaultModel final : public congest::FaultInjector {
+ public:
+  FaultModel(const WeightedGraph& g, const FaultPlan& plan);
+
+  void filter_wire(std::int64_t round, std::vector<congest::Message>& wire) override;
+  [[nodiscard]] bool alive(std::int64_t round, NodeId v) const override;
+  void crashed_between(std::int64_t r0, std::int64_t r1,
+                       std::vector<NodeId>& out) const override;
+  void note_recovery(std::int64_t round, NodeId v) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// One line per event ("@12 drop e7 u->v", "@30 crash n4", ...) — the
+  /// replayable record determinism tests compare across runs.
+  [[nodiscard]] std::string log_to_string() const;
+
+  /// Pure crash-schedule query: did a crash of v start exactly at round r?
+  [[nodiscard]] bool crash_started(std::int64_t round, NodeId v) const;
+
+ private:
+  [[nodiscard]] double draw(std::uint64_t salt, std::int64_t round, std::uint64_t key) const;
+  void record(std::int64_t round, FaultKind kind, NodeId node, EdgeId edge, int direction);
+  /// Log crash/restart transitions up to and including `round` (idempotent).
+  void observe_crashes(std::int64_t round);
+
+  const WeightedGraph* g_;
+  FaultPlan plan_;
+  std::vector<FaultEvent> log_;
+  FaultStats stats_;
+  std::int64_t crashes_observed_upto_ = -1;  // rounds scanned by observe_crashes
+};
+
+}  // namespace umc::fault

@@ -1,0 +1,184 @@
+#include "fault/reliable_channel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace umc::fault {
+
+namespace {
+
+constexpr std::uint64_t kChecksumSalt = 0x600dC0DEULL;
+constexpr std::uint64_t kAckSalt = 0xAC4BACC4ULL;
+
+/// Wire slot of a message as sent by m.from (matches CongestNetwork's
+/// slot convention: 2*e + (from == edge.v)).
+[[nodiscard]] std::size_t slot_of(const WeightedGraph& g, const congest::Message& m) {
+  return static_cast<std::size_t>(m.via) * 2 + (m.from == g.edge(m.via).v ? 1 : 0);
+}
+
+/// Forward slot of traffic sent by `sender` over `via`.
+[[nodiscard]] std::size_t slot_for(const WeightedGraph& g, NodeId sender, EdgeId via) {
+  return static_cast<std::size_t>(via) * 2 + (sender == g.edge(via).v ? 1 : 0);
+}
+
+[[nodiscard]] std::int64_t checksum(std::int64_t payload, std::int64_t aux, std::int64_t seq,
+                                    std::size_t slot) {
+  std::uint64_t h = mix64(kChecksumSalt ^ static_cast<std::uint64_t>(payload));
+  h = mix64(h ^ static_cast<std::uint64_t>(aux));
+  h = mix64(h ^ static_cast<std::uint64_t>(seq));
+  h = mix64(h ^ static_cast<std::uint64_t>(slot));
+  return static_cast<std::int64_t>(h);
+}
+
+[[nodiscard]] std::int64_t ack_mac(std::int64_t seq, std::size_t slot) {
+  return static_cast<std::int64_t>(
+      mix64(kAckSalt ^ mix64(static_cast<std::uint64_t>(seq)) ^ static_cast<std::uint64_t>(slot)));
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(const WeightedGraph& g, FaultModel* model, ReliableConfig cfg)
+    : CongestNetwork(g),
+      model_(model),
+      cfg_(cfg),
+      next_seq_(static_cast<std::size_t>(g.m()) * 2, 1),
+      acked_seq_(static_cast<std::size_t>(g.m()) * 2, 0) {
+  UMC_ASSERT(cfg_.max_attempts >= 1);
+  UMC_ASSERT(cfg_.max_backoff_rounds >= 1);
+  if (model_ != nullptr) attach_fault_injector(model_);
+}
+
+void ReliableChannel::end_round() {
+  ++stats_.logical_rounds;
+  // Fault-free compilation is the identity: exactly the base one-round
+  // delivery, so p = 0 runs are bit-identical to the plain simulator.
+  if (model_ == nullptr || model_->plan().trivial() || staged().empty()) {
+    CongestNetwork::end_round();
+    return;
+  }
+
+  const WeightedGraph& g = graph();
+  const std::size_t num_slots = static_cast<std::size_t>(g.m()) * 2;
+
+  // Journal this logical round's sends (sender-side stable storage): each
+  // occupies its wire slot exclusively, so slot -> pending is one-to-one.
+  struct Pending {
+    congest::Message msg;
+    std::int64_t seq = 0;
+    bool acked = false;
+  };
+  std::vector<Pending> pending;
+  std::vector<int> pending_at(num_slots, -1);
+  pending.reserve(staged().size());
+  for (const congest::Message& m : staged()) {
+    const std::size_t slot = slot_of(g, m);
+    pending_at[slot] = static_cast<int>(pending.size());
+    pending.push_back(Pending{m, next_seq_[slot]++, false});
+  }
+  clear_staging();
+  stats_.logical_messages += static_cast<std::int64_t>(pending.size());
+
+  // Receiver-side assembly of the logical round (write-ahead journaled:
+  // survives crash windows, which is why an acked message is never lost).
+  std::vector<std::vector<congest::Message>> logical(static_cast<std::size_t>(g.n()));
+
+  std::vector<char> data_seen(num_slots, 0);
+  std::vector<std::int64_t> data_payload(num_slots, 0);
+  std::vector<std::int64_t> data_aux(num_slots, 0);
+  std::vector<char> ack_staged(num_slots, 0);
+
+  std::size_t unacked = pending.size();
+  for (int attempt = 0; unacked > 0; ++attempt) {
+    UMC_ASSERT_MSG(attempt < cfg_.max_attempts,
+                   "reliable delivery failed: max attempts exhausted");
+    if (attempt > 0) {
+      const std::int64_t backoff =
+          std::min(std::int64_t{1} << std::min(attempt - 1, 30), cfg_.max_backoff_rounds);
+      charge_idle(backoff);
+      stats_.backoff_rounds += backoff;
+      stats_.retransmissions += static_cast<std::int64_t>(unacked);
+    }
+
+    // --- DATA: retransmit every unacknowledged message.
+    for (const Pending& p : pending)
+      if (!p.acked) send(p.msg.from, p.msg.via, p.msg.payload, p.msg.aux);
+    deliver_physical();
+    ++stats_.physical_rounds;
+    std::fill(data_seen.begin(), data_seen.end(), 0);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const congest::Message& m : inbox(v)) {
+        const std::size_t slot = slot_of(g, m);
+        data_seen[slot] = 1;
+        data_payload[slot] = m.payload;
+        data_aux[slot] = m.aux;
+      }
+    }
+
+    // --- CTRL: checksum over (payload, aux, seq, slot).
+    for (const Pending& p : pending) {
+      if (p.acked) continue;
+      const std::size_t slot = slot_of(g, p.msg);
+      send(p.msg.from, p.msg.via, checksum(p.msg.payload, p.msg.aux, p.seq, slot), p.seq);
+    }
+    deliver_physical();
+    ++stats_.physical_rounds;
+
+    // Receivers: verify, accept-once by sequence number, stage ACKs
+    // (duplicates re-acknowledged so a lost ACK cannot wedge the sender).
+    struct Ack {
+      NodeId from = kNoNode;
+      EdgeId via = kNoEdge;
+      std::int64_t mac = 0;
+      std::int64_t seq = 0;
+    };
+    std::vector<Ack> acks;
+    std::fill(ack_staged.begin(), ack_staged.end(), 0);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const congest::Message& m : inbox(v)) {
+        const std::size_t slot = slot_of(g, m);
+        if (!data_seen[slot]) continue;  // checksum with no data: ignore
+        const std::int64_t seq = m.aux;
+        if (m.payload != checksum(data_payload[slot], data_aux[slot], seq, slot))
+          continue;  // corrupted DATA or CTRL: silence forces a retry
+        if (seq > acked_seq_[slot]) {
+          acked_seq_[slot] = seq;
+          logical[static_cast<std::size_t>(v)].push_back(
+              congest::Message{m.from, m.via, data_payload[slot], data_aux[slot]});
+        }
+        // One ACK per reverse slot per round, even if the wire duplicated
+        // the CTRL message.
+        const std::size_t rev = slot_for(g, v, m.via);
+        if (!ack_staged[rev]) {
+          ack_staged[rev] = 1;
+          acks.push_back(Ack{v, m.via, ack_mac(seq, slot), seq});
+        }
+      }
+    }
+
+    // --- ACK: receiver -> sender over the reverse slot.
+    for (const Ack& a : acks) send(a.from, a.via, a.mac, a.seq);
+    deliver_physical();
+    ++stats_.physical_rounds;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const congest::Message& m : inbox(v)) {
+        // An ACK reaches the original sender v; it acknowledges v's forward
+        // slot on that edge.
+        const std::size_t fwd = slot_for(g, v, m.via);
+        const int idx = pending_at[fwd];
+        if (idx < 0) continue;
+        Pending& p = pending[static_cast<std::size_t>(idx)];
+        if (p.acked || m.aux != p.seq) continue;
+        if (m.payload != ack_mac(p.seq, fwd)) continue;  // corrupted ACK
+        p.acked = true;
+        --unacked;
+      }
+    }
+  }
+
+  // The logical round is fully delivered; expose the assembled inboxes.
+  inboxes().swap(logical);
+}
+
+}  // namespace umc::fault

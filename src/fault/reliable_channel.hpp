@@ -1,0 +1,80 @@
+#pragma once
+
+// Reliable-delivery compilation for lossy CONGEST networks.
+//
+// ReliableChannel is a drop-in CongestNetwork whose `end_round` compiles
+// one logical round of algorithm sends into a stop-and-wait ARQ exchange
+// over the physical (faulty) wire:
+//
+//   attempt k:  DATA round   (payload, aux)          sender -> receiver
+//               CTRL round   (checksum, seq)         sender -> receiver
+//               ACK  round   (ack-mac, seq)          receiver -> sender
+//               then bounded exponential backoff (idle rounds) and
+//               retransmission of everything still unacknowledged.
+//
+// Receivers accept a message only when the CTRL checksum matches the DATA
+// words (so bit-corruption looks like loss and is retried), deduplicate by
+// per-slot sequence number (so duplicated wire traffic and re-sent
+// already-accepted messages deliver once), and re-acknowledge duplicates
+// (so a lost ACK cannot wedge the sender). All physical rounds and backoff
+// idle rounds are charged to the inherited round counter — the E19
+// experiment's "cost of reliability" is exactly this overhead.
+//
+// Recovery semantics: the per-slot ARQ state (unacked messages, sequence
+// counters, accepted-seq watermarks, assembled logical inboxes) models each
+// node's write-ahead journal on stable storage — a crash-stopped node stops
+// sending and hearing (the FaultModel eats its wire traffic) but resumes
+// retransmission and deduplication from the journal after restart, which is
+// why delivery stays exactly-once across crash windows. Volatile per-round
+// compute state is NOT covered; that is the checkpoint/rollback layer in
+// congest/compiled_network.
+//
+// A null model or an all-zero FaultPlan short-circuits to the base
+// single-round delivery: compiling a fault-free network is the identity, so
+// at p = 0 outputs and round counts are bit-identical to the plain
+// simulator (the E19 baseline row).
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/congest_net.hpp"
+#include "fault/fault_model.hpp"
+
+namespace umc::fault {
+
+struct ReliableConfig {
+  /// Delivery attempts per logical round before declaring the network
+  /// unusable (throws invariant_error; p^64 is astronomically unlikely).
+  int max_attempts = 64;
+  /// Cap on the exponential backoff (idle rounds between attempts).
+  std::int64_t max_backoff_rounds = 8;
+};
+
+struct ReliableStats {
+  std::int64_t logical_rounds = 0;
+  std::int64_t logical_messages = 0;
+  std::int64_t physical_rounds = 0;   // DATA + CTRL + ACK rounds
+  std::int64_t backoff_rounds = 0;    // idle rounds charged between attempts
+  std::int64_t retransmissions = 0;   // per-message re-send count
+};
+
+class ReliableChannel final : public congest::CongestNetwork {
+ public:
+  /// `model` may be nullptr (pure pass-through). Not owned; must outlive
+  /// the channel. The model is attached to the physical layer as the
+  /// network's fault injector.
+  ReliableChannel(const WeightedGraph& g, FaultModel* model, ReliableConfig cfg = {});
+
+  void end_round() override;
+
+  [[nodiscard]] const ReliableStats& stats() const { return stats_; }
+
+ private:
+  FaultModel* model_;
+  ReliableConfig cfg_;
+  std::vector<std::int64_t> next_seq_;   // per wire slot, sender journal
+  std::vector<std::int64_t> acked_seq_;  // per wire slot, receiver journal
+  ReliableStats stats_;
+};
+
+}  // namespace umc::fault

@@ -1,14 +1,54 @@
 #include "graph/io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/assert.hpp"
 
 namespace umc {
 
-WeightedGraph read_edge_list(std::istream& in) {
+namespace {
+
+/// Whitespace-splits a line into tokens (the '#' comment tail is already
+/// stripped by the caller).
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' && line[j] != '\r') ++j;
+    if (j > i) toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+/// Strict integer parse: the whole token must be a decimal integer that
+/// fits long long. Distinguishes "not a number" (kParse) from "number too
+/// big for int64" (kOverflow) — the stream-based parser this replaces
+/// silently read overflowing weights as the default 1.
+Expected<long long> parse_int(std::string_view tok, const char* what, int line) {
+  long long v = 0;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range)
+    return Error{ErrorCode::kOverflow,
+                 std::string(what) + " '" + std::string(tok) + "' does not fit int64", line};
+  if (ec != std::errc{} || ptr != last)
+    return Error{ErrorCode::kParse,
+                 std::string(what) + " '" + std::string(tok) + "' is not an integer", line};
+  return v;
+}
+
+}  // namespace
+
+Expected<WeightedGraph> try_read_edge_list(std::istream& in) {
   std::string line;
   bool have_n = false;
   WeightedGraph g;
@@ -17,32 +57,67 @@ WeightedGraph read_edge_list(std::istream& in) {
     ++lineno;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
+    const std::vector<std::string_view> toks = tokenize(line);
+    if (toks.empty()) continue;  // blank/comment line
     if (!have_n) {
-      long long n = 0;
-      if (!(ls >> n)) continue;  // blank/comment line before the header
-      UMC_ASSERT_MSG(n >= 0 && n <= (1LL << 30), "node count out of range");
-      g = WeightedGraph(static_cast<NodeId>(n));
+      if (toks.size() != 1)
+        return Error{ErrorCode::kParse, "node-count header must be a single integer", lineno};
+      Expected<long long> n = parse_int(toks[0], "node count", lineno);
+      if (!n) return n.error();
+      if (n.value() < 0 || n.value() > kMaxNodeCount)
+        return Error{ErrorCode::kRange,
+                     "node count " + std::to_string(n.value()) + " out of range [0, 2^30]",
+                     lineno};
+      g = WeightedGraph(static_cast<NodeId>(n.value()));
       have_n = true;
-    } else {
-      long long u = 0, v = 0, w = 1;
-      if (!(ls >> u)) continue;
-      UMC_ASSERT_MSG(static_cast<bool>(ls >> v), "edge line needs two endpoints");
-      if (!(ls >> w)) w = 1;  // weight optional, defaults to 1
-      UMC_ASSERT_MSG(0 <= u && u < g.n() && 0 <= v && v < g.n(), "endpoint out of range");
-      g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+      continue;
     }
-    std::string junk;
-    UMC_ASSERT_MSG(!(ls >> junk), "trailing junk on line " + std::to_string(lineno));
+    if (toks.size() < 2 || toks.size() > 3)
+      return Error{ErrorCode::kParse, "edge line needs 'u v' or 'u v w', got " +
+                                          std::to_string(toks.size()) + " token(s)",
+                   lineno};
+    Expected<long long> u = parse_int(toks[0], "endpoint", lineno);
+    if (!u) return u.error();
+    Expected<long long> v = parse_int(toks[1], "endpoint", lineno);
+    if (!v) return v.error();
+    long long w = 1;  // weight optional, defaults to 1
+    if (toks.size() == 3) {
+      Expected<long long> pw = parse_int(toks[2], "weight", lineno);
+      if (!pw) return pw.error();
+      w = pw.value();
+    }
+    if (u.value() < 0 || u.value() >= g.n() || v.value() < 0 || v.value() >= g.n())
+      return Error{ErrorCode::kRange, "endpoint out of range [0, " + std::to_string(g.n()) + ")",
+                   lineno};
+    if (u.value() == v.value())
+      return Error{ErrorCode::kRange, "self-loop " + std::string(toks[0]) + "-" +
+                                          std::string(toks[1]) + " (never affects cuts)",
+                   lineno};
+    if (w < 1 || w > kMaxEdgeWeight)
+      return Error{ErrorCode::kRange,
+                   "weight " + std::to_string(w) + " outside [1, 2^32] (negative or zero "
+                   "weights break cut arguments; larger ones risk int64 cut-sum overflow)",
+                   lineno};
+    if (g.m() >= kMaxEdgeCount)
+      return Error{ErrorCode::kRange, "more than 2^30 edges", lineno};
+    g.add_edge(static_cast<NodeId>(u.value()), static_cast<NodeId>(v.value()), w);
   }
-  UMC_ASSERT_MSG(have_n, "missing node-count header");
+  if (!have_n) return Error{ErrorCode::kParse, "missing node-count header", 0};
   return g;
 }
 
-WeightedGraph read_edge_list_file(const std::string& path) {
+Expected<WeightedGraph> try_read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
-  UMC_ASSERT_MSG(in.good(), "cannot open " + path);
-  return read_edge_list(in);
+  if (!in.good()) return Error{ErrorCode::kIo, "cannot open " + path, 0};
+  return try_read_edge_list(in);
+}
+
+WeightedGraph read_edge_list(std::istream& in) {
+  return try_read_edge_list(in).value_or_throw();
+}
+
+WeightedGraph read_edge_list_file(const std::string& path) {
+  return try_read_edge_list_file(path).value_or_throw();
 }
 
 void write_edge_list(std::ostream& out, const WeightedGraph& g) {

@@ -9,16 +9,39 @@
 //
 // so real topologies can be fed to the examples/CLI and experiment outputs
 // can be archived.
+//
+// This is the UNTRUSTED ingestion path: the try_* parsers return
+// Expected<WeightedGraph> and reject malformed input (bad tokens, ids out
+// of range, weights outside [1, kMaxEdgeWeight], integer overflow, trailing
+// junk) with a recoverable Error naming the offending line — they never
+// throw. The legacy read_* entry points keep the old contract and convert
+// parse errors into invariant_error.
+//
+// Weight bounds: weights must lie in [1, kMaxEdgeWeight] with at most
+// kMaxEdgeCount edges, so any cut-value sum is <= 2^32 * 2^30 = 2^62 and
+// cannot overflow the int64 Weight arithmetic the solvers use. This is the
+// paper's w(e) in [poly(n)] assumption made concrete (it also matches the
+// < 2^32 packing requirement of the compiled Borůvka word format).
 
 #include <iosfwd>
 #include <string>
 
 #include "graph/graph.hpp"
+#include "util/error.hpp"
 
 namespace umc {
 
-/// Parses the edge-list format; throws invariant_error on malformed input
-/// (bad node ids, non-positive weights, trailing junk).
+inline constexpr Weight kMaxEdgeWeight = Weight{1} << 32;
+inline constexpr long long kMaxEdgeCount = 1LL << 30;
+inline constexpr long long kMaxNodeCount = 1LL << 30;
+
+/// Parses the edge-list format; malformed input yields a recoverable Error
+/// (never throws, never aborts).
+[[nodiscard]] Expected<WeightedGraph> try_read_edge_list(std::istream& in);
+[[nodiscard]] Expected<WeightedGraph> try_read_edge_list_file(const std::string& path);
+
+/// Legacy throwing entry points: as above but throws invariant_error on
+/// malformed input (bad node ids, out-of-range weights, trailing junk).
 [[nodiscard]] WeightedGraph read_edge_list(std::istream& in);
 [[nodiscard]] WeightedGraph read_edge_list_file(const std::string& path);
 

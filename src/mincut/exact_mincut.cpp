@@ -1,7 +1,14 @@
 #include "mincut/exact_mincut.hpp"
 
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "congest/gather_baseline.hpp"
 #include "mincut/two_respect.hpp"
+#include "mincut/witness.hpp"
 #include "minoragg/tree_primitives.hpp"
+#include "tree/rooted_tree.hpp"
 
 namespace umc::mincut {
 
@@ -35,6 +42,117 @@ ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledge
     }
   }
   UMC_ASSERT_MSG(out.value < kInfWeight, "a packing always yields at least one cut");
+  return out;
+}
+
+std::string MinCutDiagnosis::to_string() const {
+  std::ostringstream os;
+  os << (used_fallback ? "degraded to gather baseline" : "primary path healthy");
+  for (const std::string& f : failures) os << "; " << f;
+  return os.str();
+}
+
+bool self_check_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("UMC_SELF_CHECK");
+    return env != nullptr && (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0);
+  }();
+  return enabled;
+}
+
+namespace {
+
+/// Runs the guard battery against `primary`; appends one line per failure.
+/// Replays the packing from `seed` — the pipeline's randomness is only in
+/// the packing, so a same-seed replay must reproduce the winning tree.
+void run_guards(const WeightedGraph& g, std::uint64_t seed, const GuardConfig& config,
+                const ExactMinCutResult& primary, std::vector<std::string>& failures) {
+  if (g.n() == 2) {
+    // Single possible cut: recompute it directly.
+    if (primary.value != g.total_weight())
+      failures.push_back("cut-cov mismatch: reported " + std::to_string(primary.value) +
+                         ", direct recount " + std::to_string(g.total_weight()));
+    return;
+  }
+
+  // Packing respect check: the winner must name a replayable packing tree.
+  Rng replay(seed);
+  minoragg::Ledger scratch;
+  const TreePacking packing = tree_packing(g, replay, scratch, config.packing);
+  if (primary.num_trees != static_cast<int>(packing.trees.size())) {
+    failures.push_back("determinism: packing replay produced " +
+                       std::to_string(packing.trees.size()) + " trees, primary saw " +
+                       std::to_string(primary.num_trees));
+    return;
+  }
+  if (primary.winning_tree < 0 || primary.winning_tree >= primary.num_trees) {
+    failures.push_back("packing respect: winning tree index " +
+                       std::to_string(primary.winning_tree) + " outside [0, " +
+                       std::to_string(primary.num_trees) + ")");
+    return;
+  }
+  const std::vector<EdgeId>& tree =
+      packing.trees[static_cast<std::size_t>(primary.winning_tree)];
+
+  try {
+    // RootedTree construction validates the spanning-tree property.
+    const RootedTree t(g, tree, /*root=*/0);
+
+    // Cut=Cov spot check: materialize the bipartition and re-sum crossings.
+    if (primary.e != kNoEdge) {
+      const CutWitness w = cut_witness(t, CutResult{primary.value, primary.e, primary.f});
+      if (w.value != primary.value)
+        failures.push_back("cut-cov mismatch: reported " + std::to_string(primary.value) +
+                           ", witness crossing sum " + std::to_string(w.value));
+    } else {
+      failures.push_back("packing respect: no defining tree edge reported");
+    }
+
+    // Determinism self-check: the 2-respecting solver is deterministic, so
+    // a re-run on the winning tree must reproduce a value no worse than the
+    // reported one (equal when the winner came from this tree).
+    minoragg::Ledger recheck;
+    const CutResult again = two_respecting_mincut(g, tree, /*root=*/0, recheck);
+    if (again.value != primary.value)
+      failures.push_back("determinism: 2-respecting re-run on winning tree gave " +
+                         std::to_string(again.value) + ", primary reported " +
+                         std::to_string(primary.value));
+  } catch (const invariant_error& e) {
+    failures.push_back(std::string("packing respect: ") + e.what());
+  }
+}
+
+}  // namespace
+
+GuardedMinCutResult exact_mincut_guarded(const WeightedGraph& g, std::uint64_t seed,
+                                         minoragg::Ledger& ledger, const GuardConfig& config) {
+  GuardedMinCutResult out;
+  const bool check = config.self_check || self_check_enabled();
+  try {
+    Rng rng(seed);
+    out.primary = exact_mincut(g, rng, ledger, config.packing);
+    if (config.inject_result_corruption) {
+      // Drill mode: silently corrupt the primary answer. Only the guard
+      // battery can notice — exercising detection, not just degradation.
+      out.primary.value += 1;
+    }
+    if (check) run_guards(g, seed, config, out.primary, out.diagnosis.failures);
+  } catch (const invariant_error& e) {
+    out.diagnosis.failures.push_back(std::string("invariant: ") + e.what());
+  }
+
+  if (out.diagnosis.failures.empty()) {
+    out.value = out.primary.value;
+    return out;
+  }
+
+  // Degrade: serve the Θ(D + m) gather baseline instead of aborting.
+  out.diagnosis.used_fallback = true;
+  const congest::GatherBaselineResult fb = congest::gather_exact_mincut(g, /*root=*/0);
+  out.value = fb.min_cut_value;
+  out.fallback_rounds = fb.rounds_used;
+  ledger.charge(fb.rounds_used);  // honest accounting: the fallback is paid for
+  ledger.bump("selfcheck_fallbacks");
   return out;
 }
 

@@ -7,6 +7,10 @@
 // on excluded-minor graphs — universally optimal modulo shortcut
 // construction.
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "mincut/instance.hpp"
 #include "mincut/tree_packing.hpp"
 #include "minoragg/ledger.hpp"
@@ -30,5 +34,66 @@ struct ExactMinCutResult {
 [[nodiscard]] ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng,
                                              minoragg::Ledger& ledger,
                                              const PackingConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: guarded execution with runtime self-checks.
+//
+// A production deployment cannot afford to abort on a corrupted intermediate
+// result (bit-flipped memory, a miscompiled kernel, a bug tripped by a rare
+// topology). exact_mincut_guarded runs the Theorem 1 pipeline, optionally
+// validates the answer with independent spot checks, and on ANY failure —
+// a guard mismatch or an invariant_error escaping the fast path — falls
+// back to the Θ(D + m) gather baseline (congest/gather_baseline.hpp) and
+// returns a structured diagnosis instead of throwing.
+//
+// Guards (enabled by the UMC_SELF_CHECK env knob — "1"/"on" —, the
+// config.self_check flag, or the CLI's --self-check):
+//   * cut=cov spot check — materialize the winning (e, f) cut as a witness
+//     bipartition and re-sum the crossing weights (Theorem 40's Cut/Cov
+//     identity), which must reproduce the reported value;
+//   * packing respect check — the winning tree index is in range and its
+//     edge set is a spanning tree of g (RootedTree validation);
+//   * determinism self-check — re-running the deterministic 2-respecting
+//     solver on the winning tree reproduces the value, and the replayed
+//     packing (same seed) yields the same tree count.
+
+struct GuardConfig {
+  /// Force self-checks on regardless of UMC_SELF_CHECK.
+  bool self_check = false;
+  /// Fault injection for tests and drills: silently corrupt the primary
+  /// result before the guards run. With self-checks on, the guards must
+  /// detect it and degrade; with them off, the corruption sails through —
+  /// which is precisely what the knob buys.
+  bool inject_result_corruption = false;
+  PackingConfig packing;
+};
+
+struct MinCutDiagnosis {
+  bool used_fallback = false;
+  /// One structured line per failed guard ("cut-cov mismatch: ...").
+  std::vector<std::string> failures;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct GuardedMinCutResult {
+  /// The answer served: the primary result's value, or the gather
+  /// baseline's when the guards rejected the primary path.
+  Weight value = kInfWeight;
+  ExactMinCutResult primary;  // meaningful iff !diagnosis.used_fallback
+  MinCutDiagnosis diagnosis;
+  std::int64_t fallback_rounds = 0;  // gather baseline cost, if taken
+};
+
+/// True when the UMC_SELF_CHECK environment knob enables guard checks
+/// (values "1" or "on"; read once per process).
+[[nodiscard]] bool self_check_enabled();
+
+/// Guarded entry point. Takes a seed (not an Rng&) so the packing can be
+/// replayed deterministically for the guards. Never throws on corruption of
+/// its own results; model violations degrade to the baseline.
+[[nodiscard]] GuardedMinCutResult exact_mincut_guarded(const WeightedGraph& g,
+                                                       std::uint64_t seed,
+                                                       minoragg::Ledger& ledger,
+                                                       const GuardConfig& config = {});
 
 }  // namespace umc::mincut

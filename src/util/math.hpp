@@ -29,6 +29,17 @@ inline std::uint64_t isqrt(std::uint64_t x) {
   return r;
 }
 
+/// SplitMix64 finalizer: a high-quality 64-bit mixer. The fault subsystem
+/// keys every injection decision on mix64(seed, round, slot) so schedules
+/// are functions of position, never of iteration order, and uses the same
+/// mixer for message checksums.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// log*(n): iterated-logarithm, the Cole-Vishkin iteration count driver.
 inline int log_star(std::uint64_t n) {
   int k = 0;

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <sstream>
 
 #include "baseline/naive_two_respect.hpp"
 #include "baseline/stoer_wagner.hpp"
 #include "congest/gather_baseline.hpp"
 #include "congest/partwise.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "mincut/exact_mincut.hpp"
 #include "mincut/two_respect.hpp"
@@ -148,6 +150,129 @@ TEST(Degenerate, SingleEdgeBridgeDominatedGraphs) {
   minoragg::Ledger ledger;
   const auto got = mincut::exact_mincut(g, rng, ledger);
   EXPECT_EQ(got.value, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Untrusted ingestion: malformed edge lists are recoverable Errors with the
+// right code and line number, never aborts or garbage graphs.
+
+Expected<WeightedGraph> parse(const std::string& text) {
+  std::istringstream in(text);
+  return try_read_edge_list(in);
+}
+
+TEST(Ingestion, RejectsNegativeAndZeroWeights) {
+  const Expected<WeightedGraph> neg = parse("3\n0 1 -3\n");
+  ASSERT_FALSE(neg);
+  EXPECT_EQ(neg.error().code, ErrorCode::kRange);
+  EXPECT_EQ(neg.error().line, 2);
+  const Expected<WeightedGraph> zero = parse("3\n0 1 0\n");
+  ASSERT_FALSE(zero);
+  EXPECT_EQ(zero.error().code, ErrorCode::kRange);
+}
+
+TEST(Ingestion, WeightBoundsPreventCutSumOverflow) {
+  // 2^32 is the documented max (cut sums over <= 2^30 edges stay < 2^63);
+  // exactly at the bound parses, one past it is a range error, and a token
+  // that does not even fit int64 is an overflow error, not a parse error.
+  const Expected<WeightedGraph> at = parse("2\n0 1 4294967296\n");
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(at.value().edge(0).w, Weight{1} << 32);
+  const Expected<WeightedGraph> past = parse("2\n0 1 4294967297\n");
+  ASSERT_FALSE(past);
+  EXPECT_EQ(past.error().code, ErrorCode::kRange);
+  const Expected<WeightedGraph> huge = parse("2\n0 1 99999999999999999999999\n");
+  ASSERT_FALSE(huge);
+  EXPECT_EQ(huge.error().code, ErrorCode::kOverflow);
+}
+
+TEST(Ingestion, RejectsStructurallyMalformedFiles) {
+  EXPECT_EQ(parse("").error().code, ErrorCode::kParse);           // no header
+  EXPECT_EQ(parse("abc\n").error().code, ErrorCode::kParse);      // bad header
+  EXPECT_EQ(parse("4 7\n").error().code, ErrorCode::kParse);      // 2-token header
+  EXPECT_EQ(parse("-1\n").error().code, ErrorCode::kRange);       // negative n
+  EXPECT_EQ(parse("3\n0\n").error().code, ErrorCode::kParse);     // 1-token edge
+  EXPECT_EQ(parse("3\n0 1 2 3\n").error().code, ErrorCode::kParse);
+  EXPECT_EQ(parse("3\n0 x\n").error().code, ErrorCode::kParse);   // non-numeric
+  EXPECT_EQ(parse("3\n0 5\n").error().code, ErrorCode::kRange);   // endpoint >= n
+  EXPECT_EQ(parse("3\n1 1\n").error().code, ErrorCode::kRange);   // self-loop
+  EXPECT_EQ(try_read_edge_list_file("/nonexistent/graph.txt").error().code,
+            ErrorCode::kIo);
+}
+
+TEST(Ingestion, AcceptsCommentsBlanksAndDefaultWeights) {
+  const Expected<WeightedGraph> g = parse("# header comment\n3\n\n0 1  # w defaults\n1 2 5\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g.value().n(), 3);
+  EXPECT_EQ(g.value().m(), 2);
+  EXPECT_EQ(g.value().edge(0).w, 1);
+  EXPECT_EQ(g.value().edge(1).w, 5);
+}
+
+TEST(Ingestion, LegacyThrowingReaderStillThrows) {
+  std::istringstream in("3\n0 1 -3\n");
+  EXPECT_THROW((void)read_edge_list(in), invariant_error);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: the guarded min-cut detects injected corruption and
+// serves the gather baseline with a structured diagnosis.
+
+TEST(GuardedMinCut, CleanRunTakesPrimaryPath) {
+  Rng rng(31);
+  WeightedGraph g = erdos_renyi_connected(20, 0.3, rng);
+  randomize_weights(g, 1, 40, rng);
+  minoragg::Ledger ledger;
+  mincut::GuardConfig config;
+  config.self_check = true;
+  const mincut::GuardedMinCutResult got = mincut::exact_mincut_guarded(g, 5, ledger, config);
+  EXPECT_FALSE(got.diagnosis.used_fallback);
+  EXPECT_TRUE(got.diagnosis.failures.empty()) << got.diagnosis.to_string();
+  EXPECT_EQ(got.value, baseline::stoer_wagner(g).value);
+  EXPECT_EQ(ledger.counter("selfcheck_fallbacks"), 0);
+}
+
+TEST(GuardedMinCut, CorruptionDrillDegradesToGatherBaseline) {
+  Rng rng(37);
+  WeightedGraph g = erdos_renyi_connected(20, 0.3, rng);
+  randomize_weights(g, 1, 40, rng);
+  minoragg::Ledger ledger;
+  mincut::GuardConfig config;
+  config.self_check = true;
+  config.inject_result_corruption = true;
+  const mincut::GuardedMinCutResult got = mincut::exact_mincut_guarded(g, 5, ledger, config);
+  EXPECT_TRUE(got.diagnosis.used_fallback);
+  EXPECT_FALSE(got.diagnosis.failures.empty());
+  // Despite the corrupted primary, the served answer is correct and paid for.
+  EXPECT_EQ(got.value, baseline::stoer_wagner(g).value);
+  EXPECT_GT(got.fallback_rounds, 0);
+  EXPECT_EQ(ledger.counter("selfcheck_fallbacks"), 1);
+}
+
+TEST(GuardedMinCut, CorruptionWithoutSelfCheckGoesUndetected) {
+  // The drill corrupts the value but guards are off: documents that the
+  // self-check knob is what buys detection (and what the E19 row charges).
+  Rng rng(37);
+  WeightedGraph g = erdos_renyi_connected(20, 0.3, rng);
+  randomize_weights(g, 1, 40, rng);
+  if (mincut::self_check_enabled()) GTEST_SKIP() << "UMC_SELF_CHECK forces guards on";
+  minoragg::Ledger ledger;
+  mincut::GuardConfig config;
+  config.inject_result_corruption = true;
+  const mincut::GuardedMinCutResult got = mincut::exact_mincut_guarded(g, 5, ledger, config);
+  EXPECT_FALSE(got.diagnosis.used_fallback);
+  EXPECT_EQ(got.value, baseline::stoer_wagner(g).value + 1);  // wrong, silently
+}
+
+TEST(GuardedMinCut, TwoNodeGuardRecountsDirectly) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 17);
+  minoragg::Ledger ledger;
+  mincut::GuardConfig config;
+  config.self_check = true;
+  const auto got = mincut::exact_mincut_guarded(g, 1, ledger, config);
+  EXPECT_FALSE(got.diagnosis.used_fallback);
+  EXPECT_EQ(got.value, 17);
 }
 
 TEST(Degenerate, GatherBaselineOnStar) {

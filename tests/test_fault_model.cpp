@@ -1,0 +1,318 @@
+// Fault subsystem: seeded fault schedules must be deterministic and
+// replayable, the ReliableChannel must deliver exactly the fault-free
+// transcript under drop/dup/corrupt faults (at a measured round cost), and
+// compiled Borůvka must survive message loss and crash-restarts with the
+// correct MST.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "congest/compiled_network.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/reliable_channel.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+namespace {
+
+using congest::CongestNetwork;
+using congest::Message;
+using fault::FaultKind;
+using fault::FaultModel;
+using fault::FaultPlan;
+using fault::ReliableChannel;
+
+/// Runs `rounds` logical rounds of all-edges flooding (every node sends a
+/// round-and-sender-tagged word over every incident edge) and returns the
+/// full delivery transcript, each round's inboxes sorted per node.
+std::vector<std::vector<Message>> flood_transcript(CongestNetwork& net, int rounds) {
+  const WeightedGraph& g = net.graph();
+  std::vector<std::vector<Message>> transcript;
+  for (int r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < g.n(); ++v)
+      for (const AdjEntry& a : g.adj(v)) net.send(v, a.edge, v * 1000 + r, a.edge);
+    net.end_round();
+    for (NodeId v = 0; v < g.n(); ++v) {
+      std::vector<Message> box = net.inbox(v);
+      std::sort(box.begin(), box.end(), [](const Message& x, const Message& y) {
+        return std::tie(x.from, x.via, x.payload, x.aux) <
+               std::tie(y.from, y.via, y.payload, y.aux);
+      });
+      transcript.push_back(std::move(box));
+    }
+  }
+  return transcript;
+}
+
+std::vector<std::int64_t> random_costs(const WeightedGraph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()));
+  for (auto& c : cost) c = rng.next_in(1, 1000);
+  return cost;
+}
+
+bool log_has(const FaultModel& m, FaultKind k) {
+  for (const fault::FaultEvent& ev : m.log())
+    if (ev.kind == k) return true;
+  return false;
+}
+
+TEST(FaultModel, SameSeedSameScheduleAndLog) {
+  const WeightedGraph g = grid_graph(4, 4);
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_p = 0.2;
+  plan.dup_p = 0.1;
+  plan.corrupt_p = 0.1;
+  FaultModel a(g, plan), b(g, plan);
+  CongestNetwork na(g), nb(g);
+  na.attach_fault_injector(&a);
+  nb.attach_fault_injector(&b);
+  const auto ta = flood_transcript(na, 6);
+  const auto tb = flood_transcript(nb, 6);
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a.log(), b.log());
+  EXPECT_EQ(a.log_to_string(), b.log_to_string());
+  EXPECT_GT(a.stats().drops, 0);
+  EXPECT_GT(a.stats().duplicates, 0);
+  EXPECT_GT(a.stats().corruptions, 0);
+}
+
+TEST(FaultModel, DifferentSeedsDifferentSchedule) {
+  const WeightedGraph g = grid_graph(4, 4);
+  FaultPlan p1, p2;
+  p1.seed = 1;
+  p2.seed = 2;
+  p1.drop_p = p2.drop_p = 0.2;
+  FaultModel a(g, p1), b(g, p2);
+  CongestNetwork na(g), nb(g);
+  na.attach_fault_injector(&a);
+  nb.attach_fault_injector(&b);
+  (void)flood_transcript(na, 6);
+  (void)flood_transcript(nb, 6);
+  EXPECT_NE(a.log(), b.log());
+}
+
+TEST(FaultModel, DuplicationDoublesAndCorruptionFlipsOneBit) {
+  const WeightedGraph g = path_graph(3);  // 2 edges, 4 directed slots
+  {
+    FaultPlan plan;
+    plan.dup_p = 1.0;
+    FaultModel m(g, plan);
+    CongestNetwork net(g);
+    net.attach_fault_injector(&m);
+    net.send(0, 0, 7);
+    net.end_round();
+    ASSERT_EQ(net.inbox(1).size(), 2u);  // delivered twice
+    EXPECT_EQ(net.inbox(1)[0], net.inbox(1)[1]);
+    EXPECT_EQ(m.stats().duplicates, 1);
+  }
+  {
+    FaultPlan plan;
+    plan.corrupt_p = 1.0;
+    FaultModel m(g, plan);
+    CongestNetwork net(g);
+    net.attach_fault_injector(&m);
+    net.send(0, 0, 7, 9);
+    net.end_round();
+    ASSERT_EQ(net.inbox(1).size(), 1u);
+    const Message& d = net.inbox(1)[0];
+    // Exactly one bit of (payload, aux) flipped.
+    const std::uint64_t diff = (static_cast<std::uint64_t>(d.payload) ^ 7ULL) |
+                               (static_cast<std::uint64_t>(d.aux) ^ 9ULL);
+    EXPECT_EQ(__builtin_popcountll(diff), 1);
+    EXPECT_EQ(m.stats().corruptions, 1);
+  }
+}
+
+TEST(FaultModel, DropAccounting) {
+  const WeightedGraph g = grid_graph(5, 5);
+  FaultPlan plan;
+  plan.drop_p = 0.5;
+  FaultModel m(g, plan);
+  CongestNetwork net(g);
+  net.attach_fault_injector(&m);
+  std::int64_t delivered = 0;
+  const int rounds = 4;
+  for (int r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < g.n(); ++v)
+      for (const AdjEntry& a : g.adj(v)) net.send(v, a.edge, v);
+    net.end_round();
+    for (NodeId v = 0; v < g.n(); ++v)
+      delivered += static_cast<std::int64_t>(net.inbox(v).size());
+  }
+  const std::int64_t sent = static_cast<std::int64_t>(g.m()) * 2 * rounds;
+  EXPECT_EQ(m.stats().messages_seen, sent);
+  EXPECT_GT(m.stats().drops, 0);
+  EXPECT_EQ(delivered + m.stats().drops + m.stats().duplicates, sent);
+}
+
+TEST(FaultModel, CrashWindowAndRestart) {
+  const WeightedGraph g = path_graph(6);
+  FaultPlan plan;
+  plan.crash_p = 0.8;
+  plan.crash_down_rounds = 3;
+  plan.first_faulty_round = 5;
+  plan.last_faulty_round = 5;  // crashes can only start at round 5
+  FaultModel m(g, plan);
+
+  NodeId crashed = kNoNode;
+  for (NodeId v = 0; v < g.n(); ++v)
+    if (m.crash_started(5, v)) crashed = v;
+  ASSERT_NE(crashed, kNoNode);  // p=0.8 over 6 nodes: deterministic hit
+
+  EXPECT_TRUE(m.alive(4, crashed));
+  EXPECT_FALSE(m.alive(5, crashed));
+  EXPECT_FALSE(m.alive(6, crashed));
+  EXPECT_FALSE(m.alive(7, crashed));
+  EXPECT_TRUE(m.alive(8, crashed));  // restarted after down window
+
+  std::vector<NodeId> hit;
+  m.crashed_between(0, 20, hit);
+  EXPECT_TRUE(std::find(hit.begin(), hit.end(), crashed) != hit.end());
+
+  // A message from a down node is suppressed and logged as a crash-drop.
+  CongestNetwork net(g);
+  net.attach_fault_injector(&m);
+  net.charge_idle(5);  // advance into the crash window
+  for (const AdjEntry& a : g.adj(crashed)) net.send(crashed, a.edge, 1);
+  net.end_round();
+  EXPECT_GT(m.stats().crash_drops, 0);
+  EXPECT_TRUE(log_has(m, FaultKind::kCrash));
+  EXPECT_TRUE(log_has(m, FaultKind::kCrashDrop));
+}
+
+TEST(ReliableChannel, DeliversFaultFreeTranscriptUnderLoss) {
+  const WeightedGraph g = grid_graph(4, 4);
+  CongestNetwork clean(g);
+  const auto reference = flood_transcript(clean, 5);
+
+  for (const double p : {0.01, 0.1, 0.3}) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.drop_p = p;
+    plan.dup_p = p / 2;
+    plan.corrupt_p = p / 2;
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model);
+    const auto got = flood_transcript(net, 5);
+    EXPECT_EQ(got, reference) << "p=" << p;
+    EXPECT_GT(net.rounds(), clean.rounds()) << "reliability is not free at p=" << p;
+    if (p >= 0.1) {
+      EXPECT_GT(net.stats().retransmissions, 0);
+    }
+  }
+}
+
+TEST(ReliableChannel, ZeroLossIsBitIdenticalToPlainSimulator) {
+  const WeightedGraph g = grid_graph(4, 4);
+  CongestNetwork plain(g);
+  const auto reference = flood_transcript(plain, 5);
+
+  FaultModel model(g, FaultPlan{});  // all-zero plan
+  ReliableChannel net(g, &model);
+  const auto got = flood_transcript(net, 5);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(net.rounds(), plain.rounds());
+  EXPECT_EQ(net.stats().physical_rounds, 0);
+  EXPECT_EQ(net.stats().retransmissions, 0);
+
+  // Same for a full compiled Borůvka run: identical tree AND round count.
+  const auto cost = random_costs(g, 3);
+  const auto base = congest::compiled_boruvka(g, cost);
+  FaultModel model2(g, FaultPlan{});
+  ReliableChannel net2(g, &model2);
+  const auto rel = congest::compiled_boruvka(net2, cost);
+  EXPECT_EQ(rel.tree, base.tree);
+  EXPECT_EQ(rel.congest_rounds, base.congest_rounds);
+  EXPECT_EQ(rel.ma_rounds, base.ma_rounds);
+}
+
+TEST(ReliableChannel, CompiledBoruvkaCorrectUnderSeededLoss) {
+  // The E15 acceptance scenario: compiled Borůvka at p = 0.1 completes with
+  // the correct MST and a fault log showing injected drops were retried.
+  Rng rng(43);
+  WeightedGraph g = erdos_renyi_connected(48, 0.15, rng);
+  const auto cost = random_costs(g, 17);
+  const auto base = congest::compiled_boruvka(g, cost);
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_p = 0.1;
+  FaultModel model(g, plan);
+  ReliableChannel net(g, &model);
+  const auto res = congest::compiled_boruvka(net, cost);
+
+  EXPECT_EQ(res.tree, base.tree);
+  EXPECT_EQ(res.ma_rounds, base.ma_rounds);
+  EXPECT_GT(res.congest_rounds, base.congest_rounds);
+  EXPECT_GT(model.stats().drops, 0);
+  EXPECT_TRUE(log_has(model, FaultKind::kDrop));
+  EXPECT_GT(net.stats().retransmissions, 0) << "drops must surface as retries";
+}
+
+TEST(ReliableChannel, SameSeedBitIdenticalAcrossRuns) {
+  const WeightedGraph g = grid_graph(5, 5);
+  const auto cost = random_costs(g, 5);
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.drop_p = 0.15;
+  plan.dup_p = 0.05;
+  plan.corrupt_p = 0.05;
+
+  auto run = [&] {
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model);
+    const auto res = congest::compiled_boruvka(net, cost);
+    return std::tuple{res.tree, res.congest_rounds, model.log_to_string(),
+                      net.stats().retransmissions};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ReliableChannel, CrashRestartRecoversFromCheckpoint) {
+  const WeightedGraph g = grid_graph(4, 4);
+  const auto cost = random_costs(g, 9);
+  const auto base = congest::compiled_boruvka(g, cost);
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.crash_p = 0.4;
+  plan.crash_down_rounds = 2;
+  plan.first_faulty_round = 30;
+  plan.last_faulty_round = 34;  // a burst of crashes mid-run
+  FaultModel model(g, plan);
+  ReliableChannel net(g, &model);
+  const auto res = congest::compiled_boruvka(net, cost);
+
+  EXPECT_EQ(res.tree, base.tree) << "crash-restarted run must still produce the MST";
+  EXPECT_GE(res.rollbacks, 1) << "the crash burst must have forced a rollback";
+  EXPECT_GE(res.recoveries, 1);
+  EXPECT_GT(res.congest_rounds, base.congest_rounds);
+  EXPECT_TRUE(log_has(model, FaultKind::kCrash));
+  EXPECT_TRUE(log_has(model, FaultKind::kRestart));
+  EXPECT_TRUE(log_has(model, FaultKind::kRecovery));
+}
+
+TEST(ReliableChannel, UnreliableNetworkUnderLossIsDetected) {
+  // Without the reliability compilation, seeded loss corrupts the compiled
+  // execution and the simulator's invariant checks catch it loudly.
+  const WeightedGraph g = grid_graph(4, 4);
+  const auto cost = random_costs(g, 9);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_p = 0.3;
+  FaultModel model(g, plan);
+  CongestNetwork net(g);  // plain network: no ack/retry layer
+  net.attach_fault_injector(&model);
+  EXPECT_THROW((void)congest::compiled_boruvka(net, cost), invariant_error);
+}
+
+}  // namespace
+}  // namespace umc
