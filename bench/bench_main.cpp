@@ -1,0 +1,148 @@
+// Shared main for every bench executable (replaces benchmark_main).
+//
+// Adds one flag on top of google-benchmark's own:
+//
+//   --json    after the normal console run, write BENCH_<name>.json next to
+//             the working directory, where <name> is the executable's stem
+//             minus the "bench_" prefix. Schema (version 1):
+//
+//               { "bench": "<name>",
+//                 "schema_version": 1,
+//                 "runs": [ { "id":    full benchmark id,
+//                             "name":  family name (id up to the first '/'),
+//                             "params": id remainder ("" when none),
+//                             "iterations": N,
+//                             "wall_ms": real time for all iterations,
+//                             "counters": { "ma_rounds": ..., ... } } ] }
+//
+//             Counters are the same ledger-derived quantities the console
+//             table shows (benchutil::export_ledger). The file is the
+//             machine-readable record EXPERIMENTS.md rows cite.
+//
+// Any other argv is forwarded to google-benchmark untouched, so the
+// existing --benchmark_out=... workflow still works.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Console output as usual, plus an in-memory record of every run for the
+/// JSON file written at exit.
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      Record rec;
+      rec.id = r.benchmark_name();
+      rec.iterations = static_cast<long long>(r.iterations);
+      rec.wall_ms = r.real_accumulated_time * 1e3;  // seconds -> ms
+      for (const auto& [key, counter] : r.counters) rec.counters.emplace_back(key, counter.value);
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_json(std::ostream& os, const std::string& bench_name) const {
+    os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+       << "  \"schema_version\": 1,\n  \"runs\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      const std::size_t slash = r.id.find('/');
+      const std::string name = r.id.substr(0, slash);
+      const std::string params = slash == std::string::npos ? "" : r.id.substr(slash + 1);
+      os << (i == 0 ? "" : ",") << "\n    {\"id\": \"" << json_escape(r.id) << "\", \"name\": \""
+         << json_escape(name) << "\", \"params\": \"" << json_escape(params)
+         << "\", \"iterations\": " << r.iterations << ", \"wall_ms\": " << r.wall_ms
+         << ", \"counters\": {";
+      for (std::size_t c = 0; c < r.counters.size(); ++c)
+        os << (c == 0 ? "" : ", ") << "\"" << json_escape(r.counters[c].first)
+           << "\": " << r.counters[c].second;
+      os << "}}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+ private:
+  struct Record {
+    std::string id;
+    long long iterations = 0;
+    double wall_ms = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Record> records_;
+};
+
+/// Executable stem minus a leading "bench_": ".../bench_round_engine" ->
+/// "round_engine".
+std::string bench_stem(const char* argv0) {
+  std::string s(argv0);
+  if (const std::size_t slash = s.find_last_of("/\\"); slash != std::string::npos)
+    s = s.substr(slash + 1);
+  if (s.rfind("bench_", 0) == 0) s = s.substr(6);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_json = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int fwd_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fwd_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, args.data())) return 1;
+
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (want_json) {
+    const std::string name = bench_stem(argv[0]);
+    const std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return 1;
+    }
+    reporter.write_json(out, name);
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

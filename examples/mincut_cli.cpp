@@ -1,7 +1,7 @@
 // Command-line front end: exact min-cut of a weighted edge-list file.
 //
 //   $ ./example_mincut_cli <graph.txt> [--seed S] [--trees T] [--witness]
-//                          [--self-check]
+//                          [--self-check] [--trace out.json] [--metrics]
 //
 // File format (see graph/io.hpp):
 //   <n>
@@ -16,20 +16,35 @@
 // exceptions). --self-check runs the guarded pipeline: independent spot
 // checks on the answer, degrading to the gather baseline with a printed
 // diagnosis if they fail. Exit codes: 0 ok, 1 oracle mismatch, 2 bad input.
+//
+// --trace enables the span tracer and writes a Chrome trace_event JSON
+// (open in Perfetto: https://ui.perfetto.dev). The traced run additionally
+// drives compiled Borůvka over a lossy ReliableChannel (small graphs only)
+// so the trace shows the compiled CONGEST sub-phases and ARQ retries.
+// --metrics prints the typed metrics registry (Prometheus text) on stdout,
+// with the Ledger's round accounting bridged in.
 
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 #include "baseline/stoer_wagner.hpp"
 #include "congest/compile.hpp"
+#include "congest/compiled_network.hpp"
+#include "fault/reliable_channel.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "mincut/exact_mincut.hpp"
 #include "mincut/witness.hpp"
+#include "obs/export.hpp"
+#include "obs/ledger_bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tree/spanning.hpp"
 #include "util/rng.hpp"
 
@@ -37,7 +52,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [graph.txt] [--seed S] [--trees T] [--witness] [--self-check]\n",
+               "usage: %s [graph.txt] [--seed S] [--trees T] [--witness] [--self-check]"
+               " [--trace out.json] [--metrics]\n",
                argv0);
 }
 
@@ -50,10 +66,12 @@ bool parse_flag_int(const char* tok, long long lo, long long hi, long long& out)
 
 struct Options {
   std::string path;
+  std::string trace_path;
   std::uint64_t seed = 1;
   int max_trees = 16;
   bool want_witness = false;
   bool self_check = false;
+  bool metrics = false;
 };
 
 /// Returns false (after printing the cause) on any malformed argv.
@@ -75,10 +93,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
         opt.seed = static_cast<std::uint64_t>(v);
       else
         opt.max_trees = static_cast<int>(v);
+    } else if (std::strcmp(a, "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace needs an output path\n");
+        return false;
+      }
+      opt.trace_path = argv[++i];
+      if (opt.trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace path must be non-empty\n");
+        return false;
+      }
     } else if (std::strcmp(a, "--witness") == 0) {
       opt.want_witness = true;
     } else if (std::strcmp(a, "--self-check") == 0) {
       opt.self_check = true;
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      opt.metrics = true;
     } else if (a[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", a);
       return false;
@@ -125,6 +155,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!opt.trace_path.empty()) obs::Tracer::global().set_enabled(true);
+
   minoragg::Ledger ledger;
   mincut::GuardConfig guard;
   guard.self_check = opt.self_check;
@@ -165,6 +197,42 @@ int main(int argc, char** argv) {
                   static_cast<long long>(g.edge(e).w));
     std::printf("\nwitness value: %lld (%s)\n", static_cast<long long>(w.value),
                 w.value == cut.primary.value ? "consistent" : "INCONSISTENT");
+  }
+
+  if (!opt.trace_path.empty()) {
+    // Drive compiled Borůvka over a lossy ReliableChannel so the trace
+    // shows the compiled CONGEST sub-phases and ARQ retry spans. Bounded to
+    // small graphs: the compiled path is O(m) work per CONGEST round.
+    if (g.n() <= 2048) {
+      fault::FaultPlan plan;
+      plan.seed = opt.seed;
+      plan.drop_p = 0.05;
+      fault::FaultModel model(g, plan);
+      fault::ReliableChannel channel(g, &model);
+      std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()));
+      for (EdgeId e = 0; e < g.m(); ++e) cost[static_cast<std::size_t>(e)] = g.edge(e).w;
+      const congest::CompiledBoruvkaResult demo = congest::compiled_boruvka(channel, cost);
+      std::printf("traced compiled demo: %lld MA rounds, %lld lossy CONGEST rounds, "
+                  "%lld retransmissions\n",
+                  static_cast<long long>(demo.ma_rounds),
+                  static_cast<long long>(demo.congest_rounds),
+                  static_cast<long long>(channel.stats().retransmissions));
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    std::ofstream out(opt.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n", opt.trace_path.c_str());
+      return 2;
+    }
+    const auto events = tracer.snapshot();
+    obs::write_chrome_trace(out, events, tracer.dropped());
+    std::printf("trace: %zu spans -> %s (load in https://ui.perfetto.dev)\n", events.size(),
+                opt.trace_path.c_str());
+  }
+
+  if (opt.metrics) {
+    obs::bridge_ledger(obs::MetricsRegistry::global(), ledger, "ma");
+    obs::write_prometheus(std::cout, obs::MetricsRegistry::global());
   }
   return cut.value == reference ? 0 : 1;
 }

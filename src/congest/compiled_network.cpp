@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace umc::congest {
@@ -19,6 +20,10 @@ CompiledRoundResult execute_ma_round(
   UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
   UMC_ASSERT(static_cast<NodeId>(node_input.size()) == g.n());
   const std::int64_t start = net.rounds();
+  // Logical clock: the CONGEST round this compiled MA round starts at; the
+  // nested "congest/round" spans carry the per-round numbers.
+  UMC_OBS_SPAN_VAR_L(obs_ma, "compiled/ma_round", "compiled", start);
+  obs_ma.arg("n", g.n());
 
   // Parts of the contraction (bookkeeping only — each node knows its
   // incident contracted edges, which is what PA consumes). The engine's
@@ -33,6 +38,7 @@ CompiledRoundResult execute_ma_round(
   // already knows each part's smallest id; the PA is the message traffic
   // that realizes it, and the fold result must agree.)
   {
+    UMC_OBS_SPAN_VAR_L(obs_phase, "compiled/leader_election", "compiled", net.rounds());
     std::vector<std::int64_t> ids(static_cast<std::size_t>(g.n()));
     for (NodeId v = 0; v < g.n(); ++v) ids[static_cast<std::size_t>(v)] = v;
     const PartwiseResult leaders = partwise_aggregate(net, part, ids, PartwiseOp::kMin);
@@ -45,6 +51,7 @@ CompiledRoundResult execute_ma_round(
 
   // Step 2: consensus.
   {
+    UMC_OBS_SPAN_VAR_L(obs_phase, "compiled/consensus", "compiled", net.rounds());
     const PartwiseResult consensus = partwise_aggregate(net, part, node_input, consensus_op);
     out.consensus = consensus.value;
   }
@@ -53,6 +60,7 @@ CompiledRoundResult execute_ma_round(
   // one contiguous scan).
   std::vector<std::int64_t> y_other(static_cast<std::size_t>(g.m()) * 2, 0);
   {
+    UMC_OBS_SPAN_VAR_L(obs_phase, "compiled/y_exchange", "compiled", net.rounds());
     const CsrAdjacency& csr = g.csr();
     for (NodeId v = 0; v < g.n(); ++v)
       for (const AdjEntry& a : csr.row(v))
@@ -70,6 +78,7 @@ CompiledRoundResult execute_ma_round(
 
   // Step 4: local z-fold per node, then one part-wise aggregation.
   {
+    UMC_OBS_SPAN_VAR_L(obs_phase, "compiled/aggregation", "compiled", net.rounds());
     const auto identity = [aggregate_op]() {
       return aggregate_op == PartwiseOp::kSum ? 0 : std::numeric_limits<std::int64_t>::max();
     };
@@ -189,6 +198,8 @@ CompiledBoruvkaResult compiled_boruvka(CongestNetwork& net,
       // stay on the counter (that IS the measured cost of the crash). The
       // round counter advanced, so the retry sees a fresh fault schedule.
       ++out.rollbacks;
+      UMC_OBS_SPAN_VAR_L(obs_rb, "compiled/rollback", "compiled", net.rounds());
+      obs_rb.arg("crashed", static_cast<std::int64_t>(crashed.size()));
       out.recoveries += static_cast<int>(crashed.size());
       for (const NodeId v : crashed) injector->note_recovery(net.rounds(), v);
       selected = restore_selected(ckpt, g);

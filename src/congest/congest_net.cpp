@@ -1,10 +1,38 @@
 #include "congest/congest_net.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace umc::congest {
+
+#if !defined(UMC_OBS_DISABLED)
+namespace {
+
+// Cached registry references: one map walk at first use, atomic ops after.
+struct CongestMetrics {
+  obs::Counter& rounds = obs::MetricsRegistry::global().counter(
+      "umc_congest_rounds_total", {}, "Physical CONGEST rounds executed.");
+  obs::Counter& messages = obs::MetricsRegistry::global().counter(
+      "umc_congest_messages_total", {}, "Messages staged onto the wire (pre-fault).");
+  obs::Counter& bits = obs::MetricsRegistry::global().counter(
+      "umc_congest_bits_total", {},
+      "Model bits staged: messages x 2 words of ceil(log2 n) bits.");
+  obs::Histogram& utilization = obs::MetricsRegistry::global().histogram(
+      "umc_congest_slot_utilization_percent", {1, 5, 10, 25, 50, 75, 90, 100}, {},
+      "Per-round percentage of the 2m edge-direction slots carrying a message.");
+};
+
+CongestMetrics& congest_metrics() {
+  static CongestMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif
 
 CongestNetwork::CongestNetwork(const WeightedGraph& g)
     : g_(&g),
@@ -26,6 +54,21 @@ void CongestNetwork::clear_staging() {
 }
 
 void CongestNetwork::deliver_physical() {
+  UMC_OBS_SPAN_VAR_L(obs_round, "congest/round", "congest", rounds_);
+  obs_round.arg("messages", static_cast<std::int64_t>(staged_.size()));
+#if !defined(UMC_OBS_DISABLED)
+  {
+    CongestMetrics& m = congest_metrics();
+    m.rounds.inc();
+    const auto staged_n = static_cast<std::int64_t>(staged_.size());
+    m.messages.inc(staged_n);
+    // A message carries two words, each O(log n) bits in the model.
+    const std::int64_t word_bits =
+        std::bit_width(static_cast<std::uint64_t>(g_->n()) | 1);
+    m.bits.inc(staged_n * 2 * word_bits);
+    if (g_->m() > 0) m.utilization.observe(staged_n * 100 / (2 * g_->m()));
+  }
+#endif
   // Inboxes hold only the latest round's traffic.
   for (auto& box : inbox_) box.clear();
   if (fault_ != nullptr) fault_->filter_wire(rounds_, staged_);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
@@ -111,6 +112,28 @@ void FaultModel::filter_wire(std::int64_t round, std::vector<congest::Message>& 
   observe_crashes(round);
   stats_.messages_seen += static_cast<std::int64_t>(wire.size());
   if (plan_.trivial()) return;
+#if !defined(UMC_OBS_DISABLED)
+  // Bridge this call's stat deltas into the metrics registry at return.
+  const FaultStats before = stats_;
+  struct BridgeDeltas {
+    const FaultStats& before;
+    const FaultStats& after;
+    ~BridgeDeltas() {
+      static obs::Counter& drops = obs::MetricsRegistry::global().counter(
+          "umc_fault_drops_total", {}, "Messages dropped by the injector.");
+      static obs::Counter& dups = obs::MetricsRegistry::global().counter(
+          "umc_fault_duplicates_total", {}, "Messages duplicated by the injector.");
+      static obs::Counter& corruptions = obs::MetricsRegistry::global().counter(
+          "umc_fault_corruptions_total", {}, "Messages bit-corrupted by the injector.");
+      static obs::Counter& crash_drops = obs::MetricsRegistry::global().counter(
+          "umc_fault_crash_drops_total", {}, "Messages lost to crash-stopped endpoints.");
+      drops.inc(after.drops - before.drops);
+      dups.inc(after.duplicates - before.duplicates);
+      corruptions.inc(after.corruptions - before.corruptions);
+      crash_drops.inc(after.crash_drops - before.crash_drops);
+    }
+  } bridge{before, stats_};
+#endif
   // Outside the fault window only crash-stops (which may extend past
   // last_faulty_round by crash_down_rounds) still suppress traffic.
   const bool message_faults = plan_.faulty_at(round);

@@ -2,12 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 
 namespace umc::fault {
 
 namespace {
+
+#if !defined(UMC_OBS_DISABLED)
+struct ArqMetrics {
+  obs::Counter& logical_rounds = obs::MetricsRegistry::global().counter(
+      "umc_arq_logical_rounds_total", {}, "Logical rounds compiled through the ARQ.");
+  obs::Counter& attempts = obs::MetricsRegistry::global().counter(
+      "umc_arq_attempts_total", {}, "DATA/CTRL/ACK attempt triples executed.");
+  obs::Counter& retransmissions = obs::MetricsRegistry::global().counter(
+      "umc_arq_retransmissions_total", {}, "Messages retransmitted after a failed attempt.");
+  obs::Counter& backoff = obs::MetricsRegistry::global().counter(
+      "umc_arq_backoff_rounds_total", {}, "Idle rounds charged to exponential backoff.");
+};
+
+ArqMetrics& arq_metrics() {
+  static ArqMetrics m;
+  return m;
+}
+#endif
 
 constexpr std::uint64_t kChecksumSalt = 0x600dC0DEULL;
 constexpr std::uint64_t kAckSalt = 0xAC4BACC4ULL;
@@ -52,12 +72,17 @@ ReliableChannel::ReliableChannel(const WeightedGraph& g, FaultModel* model, Reli
 
 void ReliableChannel::end_round() {
   ++stats_.logical_rounds;
+#if !defined(UMC_OBS_DISABLED)
+  arq_metrics().logical_rounds.inc();
+#endif
   // Fault-free compilation is the identity: exactly the base one-round
   // delivery, so p = 0 runs are bit-identical to the plain simulator.
   if (model_ == nullptr || model_->plan().trivial() || staged().empty()) {
     CongestNetwork::end_round();
     return;
   }
+  UMC_OBS_SPAN_VAR_L(obs_logical, "arq/logical_round", "arq", stats_.logical_rounds);
+  obs_logical.arg("staged", static_cast<std::int64_t>(staged().size()));
 
   const WeightedGraph& g = graph();
   const std::size_t num_slots = static_cast<std::size_t>(g.m()) * 2;
@@ -93,12 +118,21 @@ void ReliableChannel::end_round() {
   for (int attempt = 0; unacked > 0; ++attempt) {
     UMC_ASSERT_MSG(attempt < cfg_.max_attempts,
                    "reliable delivery failed: max attempts exhausted");
+    UMC_OBS_SPAN_VAR_L(obs_attempt, "arq/attempt", "arq", attempt);
+    obs_attempt.arg("unacked", static_cast<std::int64_t>(unacked));
+#if !defined(UMC_OBS_DISABLED)
+    arq_metrics().attempts.inc();
+#endif
     if (attempt > 0) {
       const std::int64_t backoff =
           std::min(std::int64_t{1} << std::min(attempt - 1, 30), cfg_.max_backoff_rounds);
       charge_idle(backoff);
       stats_.backoff_rounds += backoff;
       stats_.retransmissions += static_cast<std::int64_t>(unacked);
+#if !defined(UMC_OBS_DISABLED)
+      arq_metrics().backoff.inc(backoff);
+      arq_metrics().retransmissions.inc(static_cast<std::int64_t>(unacked));
+#endif
     }
 
     // --- DATA: retransmit every unacknowledged message.

@@ -8,6 +8,7 @@
 #include "mincut/two_respect.hpp"
 #include "mincut/witness.hpp"
 #include "minoragg/tree_primitives.hpp"
+#include "obs/trace.hpp"
 #include "tree/rooted_tree.hpp"
 
 namespace umc::mincut {
@@ -15,6 +16,9 @@ namespace umc::mincut {
 ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
                                const PackingConfig& config) {
   UMC_ASSERT(g.n() >= 2);
+  UMC_OBS_SPAN_VAR_L(obs_exact, "mincut/exact", "mincut", ledger.rounds());
+  obs_exact.arg("n", g.n());
+  obs_exact.arg("m", g.m());
   ExactMinCutResult out;
 
   if (g.n() == 2) {
@@ -32,6 +36,8 @@ ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledge
   // (unrooted) packing tree (Theorem 48), then solve the deterministic
   // 2-respecting problem and keep the best.
   for (std::size_t i = 0; i < packing.trees.size(); ++i) {
+    UMC_OBS_SPAN_VAR_L(obs_tree, "mincut/two_respect_tree", "mincut",
+                       static_cast<std::int64_t>(i));
     (void)minoragg::orient_tree(g, packing.trees[i], /*root=*/0, ledger);
     const CutResult r = two_respecting_mincut(g, packing.trees[i], /*root=*/0, ledger);
     if (r.value < out.value) {
@@ -127,6 +133,7 @@ void run_guards(const WeightedGraph& g, std::uint64_t seed, const GuardConfig& c
 GuardedMinCutResult exact_mincut_guarded(const WeightedGraph& g, std::uint64_t seed,
                                          minoragg::Ledger& ledger, const GuardConfig& config) {
   GuardedMinCutResult out;
+  UMC_OBS_SPAN_VAR_L(obs_guarded, "mincut/exact_guarded", "mincut", ledger.rounds());
   const bool check = config.self_check || self_check_enabled();
   try {
     Rng rng(seed);
@@ -147,6 +154,7 @@ GuardedMinCutResult exact_mincut_guarded(const WeightedGraph& g, std::uint64_t s
   }
 
   // Degrade: serve the Θ(D + m) gather baseline instead of aborting.
+  UMC_OBS_SPAN_VAR_L(obs_fb, "mincut/gather_fallback", "mincut", ledger.rounds());
   out.diagnosis.used_fallback = true;
   const congest::GatherBaselineResult fb = congest::gather_exact_mincut(g, /*root=*/0);
   out.value = fb.min_cut_value;

@@ -7,6 +7,7 @@
 #include "minoragg/path_sums.hpp"
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace umc::mincut {
 
@@ -266,6 +267,10 @@ SubInstances build_sub_instances(const PathInstance& inst, std::size_t a, std::s
 
 CutResult solve(const PathInstance& inst, minoragg::Ledger& parent, int depth) {
   UMC_ASSERT(!inst.edgesP.empty() && !inst.edgesQ.empty());
+  // Logical clock: the path-to-path halving depth.
+  UMC_OBS_SPAN_VAR_L(obs_solve, "mincut/p2p_solve", "mincut", depth);
+  obs_solve.arg("np", static_cast<std::int64_t>(inst.edgesP.size()));
+  obs_solve.arg("nq", static_cast<std::int64_t>(inst.edgesQ.size()));
   minoragg::Ledger local;
   local.set_max("max_p2p_depth", depth);
 

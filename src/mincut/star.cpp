@@ -7,6 +7,7 @@
 #include "mincut/path_to_path.hpp"
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace umc::mincut {
 
@@ -55,6 +56,9 @@ PathInstance build_pair_instance(const StarInstance& inst, int i, int j) {
 
 CutResult star_mincut(const StarInstance& inst, minoragg::Ledger& ledger) {
   UMC_ASSERT(inst.k() >= 1);
+  // Logical clock: the number of star paths k.
+  UMC_OBS_SPAN_VAR_L(obs_star, "mincut/star", "mincut", inst.k());
+  obs_star.arg("n", inst.graph.n());
   minoragg::Ledger local;
 
   // 1-respecting cuts over the whole star (Theorem 18).

@@ -6,6 +6,7 @@
 #include "baseline/stoer_wagner.hpp"
 #include "graph/properties.hpp"
 #include "minoragg/boruvka.hpp"
+#include "obs/trace.hpp"
 #include "util/math.hpp"
 
 namespace umc::mincut {
@@ -61,6 +62,8 @@ std::vector<std::vector<EdgeId>> greedy_pack(const WeightedGraph& g,
 TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
                          const PackingConfig& config) {
   UMC_ASSERT(g.n() >= 2);
+  UMC_OBS_SPAN_VAR_L(obs_pack, "mincut/tree_packing", "mincut", ledger.rounds());
+  obs_pack.arg("n", g.n());
   TreePacking out;
 
   // Seed lambda (substitution for the [17] approx black box; see header).

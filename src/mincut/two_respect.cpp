@@ -6,6 +6,7 @@
 #include "mincut/subtree_instance.hpp"
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace umc::mincut {
 
@@ -34,6 +35,9 @@ CutResult solve_base(const Instance& inst, minoragg::Ledger& ledger) {
 
 CutResult solve(const Instance& inst, minoragg::Ledger& parent, int depth) {
   parent.set_max("max_general_depth", depth);
+  // Logical clock: the centroid-recursion depth.
+  UMC_OBS_SPAN_VAR_L(obs_solve, "mincut/general_solve", "mincut", depth);
+  obs_solve.arg("n", inst.graph.n());
   if (inst.graph.n() <= 3) return solve_base(inst, parent);
 
   minoragg::Ledger local;

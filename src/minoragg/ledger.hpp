@@ -12,6 +12,15 @@
 //
 // Ledgers also track auxiliary experiment counters (recursion depth,
 // CV iterations, ...) surfaced by the benches.
+//
+// Counter key convention (normative): the key's "max_" prefix IS the
+// counter's merge kind. Keys starting with "max_" hold running maxima
+// (depths, degrees, widths) and merge by max across every composition —
+// parallel or sequential; all other keys are additive work counts and merge
+// by sum. `bump`/`set_max` assert the prefix matches the operation, so a
+// key cannot silently change kind. The typed metrics registry (obs/) is the
+// public metrics surface; obs/ledger_bridge.hpp translates this convention
+// into Counter (sum-kind) and Gauge::set_max (max-kind) instances.
 
 #include <algorithm>
 #include <cstdint>

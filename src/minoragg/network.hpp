@@ -34,6 +34,7 @@
 #include "graph/graph.hpp"
 #include "minoragg/ledger.hpp"
 #include "minoragg/round_engine.hpp"
+#include "obs/trace.hpp"
 #include "sketch/aggregators.hpp"
 
 namespace umc::minoragg {
@@ -68,7 +69,11 @@ class Network {
     const WeightedGraph& g = *g_;
     UMC_ASSERT(static_cast<EdgeId>(contract.size()) == g.m());
     UMC_ASSERT(static_cast<NodeId>(node_input.size()) == g.n());
+    // Logical clock: the MA round number this round will be charged as.
+    UMC_OBS_SPAN_VAR_L(obs_round, "ma/round", "ma", ledger_->rounds());
+    obs_round.arg("n", g.n());
     const RoundPlan& plan = engine_.plan(contract);
+    obs_round.arg("minor_edges", static_cast<std::int64_t>(plan.edges.size()));
     auto out = engine_.execute<CAgg, XAgg>(plan, node_input, std::forward<EdgeFn>(edge_values));
     ledger_->charge(1);
     return out;

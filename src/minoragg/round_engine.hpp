@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sketch/aggregators.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -199,8 +201,13 @@ class RoundEngine {
     }
     cuts.push_back(num_groups);
     ThreadPool::global().run(
-        static_cast<std::size_t>(width), width,
-        [&](std::size_t c) { body(cuts[c], cuts[c + 1]); });
+        static_cast<std::size_t>(width), width, [&](std::size_t c) {
+          // Per-chunk worker-thread span: where the fold wall time goes.
+          UMC_OBS_SPAN_VAR_L(obs_chunk, "engine/chunk", "engine",
+                             static_cast<std::int64_t>(c));
+          obs_chunk.arg("groups", cuts[c + 1] - cuts[c]);
+          body(cuts[c], cuts[c + 1]);
+        });
   }
 
   /// Splits [0, count) into ~width equal ranges and runs body(lo, hi).
@@ -237,6 +244,21 @@ RoundResult<typename CAgg::value_type, typename XAgg::value_type> RoundEngine::e
   UMC_ASSERT(node_input.size() == n);
   const std::size_t groups = static_cast<std::size_t>(plan.num_groups);
   const int width = effective_width(n + plan.edges.size());
+  UMC_OBS_SPAN_VAR(obs_exec, "engine/execute", "engine");
+  obs_exec.arg("work", static_cast<std::int64_t>(n + plan.edges.size()));
+  obs_exec.arg("width", width);
+#if !defined(UMC_OBS_DISABLED)
+  if (width > 1) {
+    // The pool executes `width` chunk jobs for this round; `width - 1`
+    // of them queue behind the workers — the pool's queue depth.
+    static obs::Gauge& queue_depth = obs::MetricsRegistry::global().gauge(
+        "umc_pool_queue_depth", {}, "Chunk jobs queued per parallel fold (width - 1).");
+    queue_depth.set(width - 1);
+    static obs::Counter& parallel_folds = obs::MetricsRegistry::global().counter(
+        "umc_engine_parallel_folds_total", {}, "Rounds folded chunk-parallel.");
+    parallel_folds.inc();
+  }
+#endif
   // Edge callbacks may consult g.csr(), whose lazy build is not thread-safe
   // (graph.hpp): force it on this thread before fanning out.
   if (width > 1) (void)g_->csr();

@@ -54,6 +54,11 @@ simulate_virtual_round(
   UMC_ASSERT(static_cast<EdgeId>(contract.size()) == vgraph.m());
   UMC_ASSERT(static_cast<NodeId>(node_input.size()) == vgraph.n());
   const std::int64_t start = ledger.rounds();
+  // Logical clock: the real round this virtual round starts at; the nested
+  // "ma/round" spans carry the per-round numbers.
+  UMC_OBS_SPAN_VAR_L(obs_virt, "ma/virtual_round", "ma", start);
+  obs_virt.arg("beta", static_cast<std::int64_t>(gv.beta()));
+  obs_virt.arg("n_virt", vgraph.n());
 
   // The real communication graph (virtual nodes and their edges removed).
   std::vector<bool> keep(static_cast<std::size_t>(vgraph.n()));

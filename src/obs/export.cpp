@@ -1,0 +1,161 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace umc::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (names/keys are controlled literals, but a
+/// stray quote must not corrupt the document).
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Nanoseconds rendered as microseconds with fixed 3 decimals — the
+/// trace_event `ts`/`dur` unit, full precision, reproducibly formatted.
+void write_us(std::ostream& os, std::int64_t ns) {
+  const bool neg = ns < 0;
+  const std::int64_t abs = neg ? -ns : ns;
+  if (neg) os << '-';
+  os << abs / 1000 << '.' << std::setw(3) << std::setfill('0') << abs % 1000
+     << std::setfill(' ');
+}
+
+std::string labels_suffix(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        std::int64_t dropped) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.cat)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.tid << ",\"ts\":";
+    write_us(os, ev.t0_ns);
+    os << ",\"dur\":";
+    write_us(os, ev.dur_ns);
+    os << ",\"args\":{";
+    bool first_arg = true;
+    if (ev.logical >= 0) {
+      os << "\"logical\":" << ev.logical;
+      first_arg = false;
+    }
+    for (const TraceEvent::Arg& a : ev.args) {
+      if (a.key == nullptr) continue;
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << '"' << json_escape(a.key) << "\":" << a.value;
+    }
+    os << "}}";
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << dropped << "}}\n";
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  for (const MetricsRegistry::Family& fam : registry.families()) {
+    if (!fam.help.empty()) os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+    os << "# TYPE " << fam.name << ' ' << type_name(fam.type) << '\n';
+    for (const MetricsRegistry::Instance& inst : fam.instances) {
+      const std::string labels = labels_suffix(inst.labels);
+      if (inst.counter != nullptr) {
+        os << fam.name << labels << ' ' << inst.counter->value() << '\n';
+      } else if (inst.gauge != nullptr) {
+        os << fam.name << labels << ' ' << inst.gauge->value() << '\n';
+      } else if (inst.histogram != nullptr) {
+        // Cumulative buckets, per the exposition format.
+        const std::vector<std::int64_t> counts = inst.histogram->bucket_counts();
+        const std::vector<std::int64_t>& bounds = inst.histogram->bounds();
+        std::int64_t cum = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cum += counts[i];
+          Labels with_le = inst.labels;
+          with_le.emplace_back("le", std::to_string(bounds[i]));
+          os << fam.name << "_bucket" << labels_suffix(with_le) << ' ' << cum << '\n';
+        }
+        cum += counts.back();
+        Labels inf = inst.labels;
+        inf.emplace_back("le", "+Inf");
+        os << fam.name << "_bucket" << labels_suffix(inf) << ' ' << cum << '\n';
+        os << fam.name << "_sum" << labels << ' ' << inst.histogram->sum() << '\n';
+        os << fam.name << "_count" << labels << ' ' << inst.histogram->count() << '\n';
+      }
+    }
+  }
+}
+
+void write_flat_table(std::ostream& os, const MetricsRegistry& registry) {
+  // Two passes: measure the name column, then print aligned.
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (const MetricsRegistry::Family& fam : registry.families()) {
+    for (const MetricsRegistry::Instance& inst : fam.instances) {
+      const std::string id = fam.name + labels_suffix(inst.labels);
+      if (inst.counter != nullptr) {
+        rows.emplace_back(id, std::to_string(inst.counter->value()));
+      } else if (inst.gauge != nullptr) {
+        rows.emplace_back(id, std::to_string(inst.gauge->value()));
+      } else if (inst.histogram != nullptr) {
+        const std::int64_t count = inst.histogram->count();
+        const std::int64_t sum = inst.histogram->sum();
+        std::ostringstream v;
+        v << "count=" << count << " sum=" << sum << " avg=";
+        if (count == 0)
+          v << "-";
+        else
+          v << std::fixed << std::setprecision(2)
+            << static_cast<double>(sum) / static_cast<double>(count);
+        rows.emplace_back(id, v.str());
+      }
+    }
+  }
+  std::size_t width = 0;
+  for (const auto& [id, value] : rows) width = std::max(width, id.size());
+  for (const auto& [id, value] : rows)
+    os << std::left << std::setw(static_cast<int>(width) + 2) << id << value << '\n';
+}
+
+}  // namespace umc::obs

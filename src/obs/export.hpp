@@ -1,0 +1,37 @@
+#pragma once
+
+// Exporters for the observability subsystem: render recorded spans and the
+// metrics registry into the three formats the ROADMAP's tooling consumes.
+//
+//   * Chrome trace_event JSON — loads directly in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing. One complete ("X")
+//     event per span; the logical clock and span args land in `args`.
+//   * Prometheus text exposition (version 0.0.4) — the scrape format, also
+//     the stable machine surface tests golden-diff.
+//   * Flat table — human-readable stdout dump for CLI/bench summaries.
+//
+// All exporters emit in deterministic order ((tid, seq) for spans,
+// (name, labels) for metrics); with an injected test clock the Chrome JSON
+// is byte-reproducible.
+
+#include <ostream>
+#include <span>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace umc::obs {
+
+/// Chrome trace_event JSON for a span snapshot (Tracer::snapshot()).
+/// `dropped` > 0 is recorded in the trace metadata so truncated rings are
+/// visible in the viewer.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        std::int64_t dropped = 0);
+
+/// Prometheus text exposition of every family in the registry.
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+/// Flat `name{labels} value` table (histograms as count/sum/avg rows).
+void write_flat_table(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace umc::obs

@@ -1,0 +1,46 @@
+#pragma once
+
+// Bridge from the Ledger's model-level round accounting into the typed
+// metrics registry — the Ledger stays the source of truth for charged
+// rounds (its composition rules ARE the paper's), while the registry is the
+// public metrics surface with stable names, types, and labels.
+//
+// Translation of the Ledger key convention (documented in ledger.hpp):
+//   rounds()            -> counter umc_ma_rounds_total{sim=...}
+//   "max_"-prefix keys  -> gauge   umc_ledger_<key>{sim=...}   (running max)
+//   all other keys      -> counter umc_ledger_<key>_total{sim=...}
+//
+// Call once per finished run (bridging is additive, like absorbing one
+// ledger into another: counters sum, max-gauges max).
+
+#include <string>
+#include <string_view>
+
+#include "minoragg/ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace umc::obs {
+
+inline void bridge_ledger(MetricsRegistry& registry, const minoragg::Ledger& ledger,
+                          std::string_view sim) {
+  const Labels labels{{"sim", std::string(sim)}};
+  registry
+      .counter("umc_ma_rounds_total", labels,
+               "Minor-Aggregation rounds charged to the ledger.")
+      .inc(ledger.rounds());
+  for (const auto& [key, value] : ledger.counters()) {
+    if (std::string_view(key).substr(0, 4) == "max_") {
+      registry
+          .gauge("umc_ledger_" + key, labels,
+                 "Ledger max-kind experiment counter (merged by max).")
+          .set_max(value);
+    } else {
+      registry
+          .counter("umc_ledger_" + key + "_total", labels,
+                   "Ledger sum-kind experiment counter (merged by sum).")
+          .inc(value);
+    }
+  }
+}
+
+}  // namespace umc::obs

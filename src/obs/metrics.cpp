@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace umc::obs {
+
+namespace {
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name)
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) return false;
+  return !(name[0] >= '0' && name[0] <= '9');
+}
+
+/// Canonical label order plus the map key ("k1=v1,k2=v2", '\x1f'-escaped
+/// never needed — label values in this repo are short identifiers).
+Labels canonical(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string label_key(const Labels& canon) {
+  std::string key;
+  for (const auto& [k, v] : canon) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  UMC_ASSERT(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) UMC_ASSERT(bounds_[i - 1] < bounds_[i]);
+}
+
+void Histogram::observe(std::int64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked for the same reason as Tracer::global(): hot paths hold cached
+  // references past static-destruction order.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_insert(std::string_view name,
+                                                        const Labels& labels,
+                                                        std::string_view help,
+                                                        MetricType type) {
+  UMC_ASSERT_MSG(valid_name(name), "metric names are lowercase [a-z0-9_]");
+  const Labels canon = canonical(labels);
+  const std::string key = label_key(canon);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto family = entries_.find(name);
+  if (family == entries_.end())
+    family = entries_.emplace(std::string(name), std::map<std::string, Entry>{}).first;
+  auto it = family->second.find(key);
+  if (it == family->second.end()) {
+    Entry entry;
+    entry.type = type;
+    entry.labels = canon;
+    entry.help = std::string(help);
+    it = family->second.emplace(key, std::move(entry)).first;
+  } else {
+    UMC_ASSERT_MSG(it->second.type == type, "metric re-registered as a different type");
+    if (it->second.help.empty() && !help.empty()) it->second.help = std::string(help);
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels,
+                                  std::string_view help) {
+  Entry& e = find_or_insert(name, labels, help, MetricType::kCounter);
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels,
+                              std::string_view help) {
+  Entry& e = find_or_insert(name, labels, help, MetricType::kGauge);
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<std::int64_t> bounds,
+                                      const Labels& labels, std::string_view help) {
+  Entry& e = find_or_insert(name, labels, help, MetricType::kHistogram);
+  if (e.histogram == nullptr) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+std::vector<MetricsRegistry::Family> MetricsRegistry::families() const {
+  std::vector<Family> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [name, instances] : entries_) {
+    Family fam;
+    fam.name = name;
+    for (const auto& [key, entry] : instances) {
+      (void)key;
+      if (fam.help.empty()) fam.help = entry.help;
+      fam.type = entry.type;
+      Instance inst;
+      inst.labels = entry.labels;
+      inst.counter = entry.counter.get();
+      inst.gauge = entry.gauge.get();
+      inst.histogram = entry.histogram.get();
+      fam.instances.push_back(std::move(inst));
+    }
+    out.push_back(std::move(fam));
+  }
+  return out;
+}
+
+}  // namespace umc::obs

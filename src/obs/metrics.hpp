@@ -1,0 +1,153 @@
+#pragma once
+
+// Typed metrics registry: named counters, gauges, and histograms with
+// label sets — the structured successor of the Ledger's stringly counter
+// map as the repo's PUBLIC metrics surface (the Ledger keeps doing the
+// model-level round accounting; obs/ledger_bridge.hpp copies a finished
+// ledger into this registry, translating the "max_"-prefix convention into
+// gauge/counter kinds).
+//
+// Semantics:
+//   * Counter   — monotonically increasing int64 (events, rounds, bytes);
+//   * Gauge     — last-set or running-max int64 (depths, widths, sizes);
+//   * Histogram — fixed upper-bound buckets + sum + count (distributions:
+//     per-round message counts, slot utilization, chunk sizes).
+//
+// Naming scheme (enforced by assertion): `umc_<subsystem>_<what>[_total]`,
+// lowercase [a-z0-9_], Prometheus-compatible as-is. Labels distinguish
+// instances of one family ({"sim","congest"}, {"phase","consensus"}).
+//
+// Thread safety: registration takes a mutex and returns a stable reference
+// (instances are never moved or freed); updates are relaxed atomics, safe
+// from any thread and cheap enough for per-round call sites. Hot paths
+// cache the returned reference in a function-local static so the name
+// lookup happens once per process.
+//
+// Exporters (obs/export.hpp) render a registry as Prometheus text
+// exposition or a flat stdout table, in deterministic (name, labels) order.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace umc::obs {
+
+/// Label set: (key, value) pairs. Order-insensitive (canonicalized by the
+/// registry); keep them few and low-cardinality.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::int64_t v = 1) {
+    UMC_ASSERT(v >= 0);
+    v_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raise to at least `v` (running maximum; the "max_" ledger kind).
+  void set_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly increasing; an implicit
+  /// +Inf bucket is always appended.
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf slot.
+  [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+  [[nodiscard]] std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> count_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  /// The process registry the instrumentation records into. Tests build
+  /// private instances for golden-file isolation.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-register. The returned reference is stable for the registry's
+  /// lifetime; re-registration with the same (name, labels) returns the
+  /// same instance. A name registered as one type asserts on use as
+  /// another. `help` is kept from the first registration that supplies it.
+  Counter& counter(std::string_view name, const Labels& labels = {},
+                   std::string_view help = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {}, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds,
+                       const Labels& labels = {}, std::string_view help = {});
+
+  /// One labeled instance of a family, for exporters.
+  struct Instance {
+    Labels labels;  // canonical (sorted by key)
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Instance> instances;  // sorted by rendered label string
+  };
+
+  /// Deterministic snapshot of the registry shape (metric pointers remain
+  /// live; values are read through them at render time).
+  [[nodiscard]] std::vector<Family> families() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    Labels labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_insert(std::string_view name, const Labels& labels, std::string_view help,
+                        MetricType type);
+
+  mutable std::mutex mu_;
+  // name -> label-key -> entry; both maps ordered for deterministic export.
+  std::map<std::string, std::map<std::string, Entry>, std::less<>> entries_;
+};
+
+}  // namespace umc::obs

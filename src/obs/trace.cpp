@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace umc::obs {
+
+namespace {
+
+std::size_t read_ring_capacity() {
+  constexpr std::size_t kDefault = std::size_t{1} << 14;
+  constexpr std::size_t kMin = std::size_t{1} << 8;
+  constexpr std::size_t kMax = std::size_t{1} << 22;
+  const char* env = std::getenv("UMC_OBS_RING");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return kDefault;
+  const auto cap = static_cast<std::size_t>(v);
+  return cap < kMin ? kMin : (cap > kMax ? kMax : cap);
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  // Deliberately leaked: worker threads may touch their rings during
+  // process teardown, after static destructors would have run.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::size_t Tracer::ring_capacity() {
+  static const std::size_t cap = read_ring_capacity();
+  return cap;
+}
+
+std::int64_t Tracer::now() const {
+  const ClockFn fn = clock_fn_.load(std::memory_order_relaxed);
+  if (fn != nullptr) return fn();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Only the (singleton) global tracer records, so one TLS slot suffices.
+  // Buffers are owned by the tracer and outlive their threads; events of
+  // exited threads stay exportable.
+  static thread_local ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) {
+    auto* buf = new ThreadBuffer();
+    buf->ring.resize(ring_capacity());
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buf->tid = static_cast<std::int32_t>(buffers_.size());
+    buffers_.push_back(buf);
+    tls = buf;
+  }
+  return *tls;
+}
+
+std::int32_t Tracer::current_tid() { return local_buffer().tid; }
+
+void Tracer::begin(ScopedSpan& span) {
+  ThreadBuffer& buf = local_buffer();
+  span.t_ = this;
+  span.buf_ = &buf;
+  span.seq_ = buf.seq++;
+  span.depth_ = buf.depth++;
+  span.t0_ = now();
+}
+
+void Tracer::end(ScopedSpan& span) {
+  const std::int64_t t1 = now();
+  ThreadBuffer& buf = *span.buf_;
+  --buf.depth;
+  const std::size_t at = buf.count.load(std::memory_order_relaxed);
+  if (at >= buf.ring.size()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& ev = buf.ring[at];
+  ev.name = span.name_;
+  ev.cat = span.cat_;
+  ev.t0_ns = span.t0_;
+  ev.dur_ns = t1 - span.t0_;
+  ev.logical = span.logical_;
+  ev.seq = span.seq_;
+  ev.depth = span.depth_;
+  ev.tid = buf.tid;
+  ev.args[0] = span.args_[0];
+  ev.args[1] = span.args_[1];
+  // Commit: a snapshot that acquires `count` sees a fully-written event.
+  buf.count.store(at + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const ThreadBuffer* buf : buffers_) {
+    const std::size_t n = buf->count.load(std::memory_order_acquire);
+    // Events are committed in end order; sort each thread's stream back
+    // into begin (seq) order so nesting reads parent-before-child.
+    const std::size_t first = out.size();
+    out.insert(out.end(), buf->ring.begin(),
+               buf->ring.begin() + static_cast<std::ptrdiff_t>(n));
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  }
+  return out;
+}
+
+std::int64_t Tracer::dropped() const {
+  std::int64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const ThreadBuffer* buf : buffers_)
+    total += buf->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (ThreadBuffer* buf : buffers_) {
+    buf->count.store(0, std::memory_order_release);
+    buf->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace umc::obs

@@ -42,6 +42,49 @@ TEST(Ledger, SequentialAndParallelComposition) {
   EXPECT_EQ(m1.counter("max_depth"), 4);
 }
 
+TEST(Ledger, CounterKindsMergeByKeyPrefix) {
+  // The "max_" prefix IS the merge kind (see the ledger.hpp convention):
+  // max-kind keys take the maximum, sum-kind keys add — under BOTH
+  // composition rules, including a parent value already present.
+  Ledger parent;
+  parent.set_max("max_depth", 3);
+  parent.bump("work", 10);
+
+  Ledger a, b;
+  a.charge(2);
+  a.set_max("max_depth", 7);
+  a.bump("work", 1);
+  b.charge(5);
+  b.set_max("max_depth", 5);
+  b.bump("work", 2);
+
+  const std::vector<Ledger> children = {a, b};
+  parent.charge_parallel(children);
+  EXPECT_EQ(parent.rounds(), 5);               // max of {2, 5}
+  EXPECT_EQ(parent.counter("max_depth"), 7);   // max of {3, 7, 5}
+  EXPECT_EQ(parent.counter("work"), 13);       // 10 + 1 + 2
+
+  parent.charge_sequential(a);
+  EXPECT_EQ(parent.rounds(), 7);               // 5 + 2
+  EXPECT_EQ(parent.counter("max_depth"), 7);   // max(7, 7): sequential maxes too
+  EXPECT_EQ(parent.counter("work"), 14);
+
+  // A child whose max is below the parent's must not lower it.
+  Ledger low;
+  low.set_max("max_depth", 1);
+  parent.charge_sequential(low);
+  EXPECT_EQ(parent.counter("max_depth"), 7);
+
+  // absorb_counter is the single merge point both compositions go through.
+  parent.absorb_counter("max_depth", 9);
+  parent.absorb_counter("work", 6);
+  EXPECT_EQ(parent.counter("max_depth"), 9);
+  EXPECT_EQ(parent.counter("work"), 20);
+
+  // Unset counters read as 0 and merge from 0.
+  EXPECT_EQ(parent.counter("missing"), 0);
+}
+
 TEST(Network, ConsensusOverSupernodes) {
   // Path 0-1-2-3; contract {0,1} and {2,3}: two supernodes.
   const WeightedGraph g = path_graph(4);
