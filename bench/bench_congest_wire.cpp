@@ -1,0 +1,92 @@
+// Experiment E21 (CONGEST fast path): the slot-addressed wire and the
+// partwise plan cache against the retained reference message path, on the
+// E15 compiled-execution workload, plus the parallel per-tree exact-min-cut
+// solve.
+//
+//   * wire/reference  — seed semantics: per-round message vector, O(n)
+//     inbox clears, per-part BFS rebuilt for every aggregation.
+//   * wire/slot       — slot-addressed double-buffered wire, caches off:
+//     isolates the zero-allocation delivery win.
+//   * wire/slot_cache — slot wire + PartwiseCache hanging off the cached
+//     RoundPlan: the three aggregations of each MA round (and every replay
+//     of an unchanged contraction) share one partition build.
+//
+// Every variant exports the same "ma_rounds", "real_congest_rounds", and
+// "mst_cost" counters — the fast path changes wall time ONLY, never traffic
+// or outputs. The mincut family sweeps the per-tree solver fan-out
+// (threads=1 vs 4) with identical "cut_value"/"winning_tree"/"ma_rounds".
+//
+// Run:
+//   ./bench_congest_wire --json
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "congest/compiled_network.hpp"
+#include "mincut/exact_mincut.hpp"
+
+namespace umc {
+namespace {
+
+congest::WireConfig wire_config(int variant) {
+  switch (variant) {
+    case 0: return {congest::WireMode::kReference, /*partwise_cache=*/false};
+    case 1: return {congest::WireMode::kSlot, /*partwise_cache=*/false};
+    default: return {congest::WireMode::kSlot, /*partwise_cache=*/true};
+  }
+}
+
+void run_wire_variant(benchmark::State& state, const WeightedGraph& g) {
+  Rng rng(19);
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()));
+  for (auto& c : cost) c = rng.next_in(1, 1000);
+
+  const congest::WireConfig wire = wire_config(static_cast<int>(state.range(0)));
+  congest::CompiledBoruvkaResult res{};
+  for (auto _ : state) {
+    congest::CongestNetwork net(g, wire);
+    res = congest::compiled_boruvka(net, cost);
+    benchmark::DoNotOptimize(res);
+  }
+  std::int64_t mst_cost = 0;
+  for (const EdgeId e : res.tree) mst_cost += cost[static_cast<std::size_t>(e)];
+  state.counters["n"] = g.n();
+  state.counters["ma_rounds"] = res.ma_rounds;
+  state.counters["real_congest_rounds"] = static_cast<double>(res.congest_rounds);
+  state.counters["mst_cost"] = static_cast<double>(mst_cost);
+}
+
+void BM_WireGrid(benchmark::State& state) {
+  run_wire_variant(state, grid_graph(48, 48));
+}
+void BM_WireEr(benchmark::State& state) {
+  run_wire_variant(state, benchutil::weighted_er(1024, 8.0, 43));
+}
+
+void BM_ExactMincutThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const WeightedGraph g = benchutil::weighted_er(96, 8.0, 7);
+  mincut::ExactMinCutResult res{};
+  minoragg::Ledger ledger;
+  for (auto _ : state) {
+    Rng rng(7);
+    minoragg::Ledger fresh;
+    res = mincut::exact_mincut(g, rng, fresh, {}, threads);
+    benchmark::DoNotOptimize(res);
+    ledger = std::move(fresh);
+  }
+  benchutil::export_ledger(state, ledger);
+  state.counters["threads"] = threads;
+  state.counters["cut_value"] = static_cast<double>(res.value);
+  state.counters["winning_tree"] = res.winning_tree;
+  state.counters["num_trees"] = res.num_trees;
+}
+
+// 0 = reference (seed), 1 = slot, 2 = slot + partwise cache. Round counters
+// and mst_cost must be identical down the column.
+BENCHMARK(BM_WireGrid)->Arg(0)->Arg(1)->Arg(2)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WireEr)->Arg(0)->Arg(1)->Arg(2)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExactMincutThreads)->Arg(1)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace umc

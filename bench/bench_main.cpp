@@ -8,6 +8,8 @@
 //
 //               { "bench": "<name>",
 //                 "schema_version": 1,
+//                 "build_preset": "default" | "tsan" | "asan" | "ubsan",
+//                 "umc_threads": value of UMC_THREADS ("" when unset),
 //                 "runs": [ { "id":    full benchmark id,
 //                             "name":  family name (id up to the first '/'),
 //                             "params": id remainder ("" when none),
@@ -24,6 +26,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -73,8 +76,21 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
   }
 
   void write_json(std::ostream& os, const std::string& bench_name) const {
+    // A number without its build context is not reproducible: record the
+    // preset this binary was compiled under and the pool-width knob in
+    // effect, so a committed baseline can be rejected when regenerated from
+    // the wrong configuration.
+#ifdef UMC_BUILD_PRESET
+    const char* preset = UMC_BUILD_PRESET;
+#else
+    const char* preset = "unknown";
+#endif
+    const char* threads_env = std::getenv("UMC_THREADS");
     os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
-       << "  \"schema_version\": 1,\n  \"runs\": [";
+       << "  \"schema_version\": 1,\n"
+       << "  \"build_preset\": \"" << json_escape(preset) << "\",\n"
+       << "  \"umc_threads\": \"" << json_escape(threads_env == nullptr ? "" : threads_env)
+       << "\",\n  \"runs\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       const std::size_t slash = r.id.find('/');

@@ -20,19 +20,37 @@ BfsTree build_bfs_tree(CongestNetwork& net, NodeId root) {
   t.depth[static_cast<std::size_t>(root)] = 0;
 
   std::vector<NodeId> frontier = {root};
+  std::vector<char> cand_seen(static_cast<std::size_t>(g.n()), 0);
+  std::vector<NodeId> cand;
   while (!frontier.empty()) {
     // Each frontier node announces itself over all incident edges.
     for (const NodeId v : frontier) {
       for (const AdjEntry& a : g.adj(v)) net.send(v, a.edge, t.depth[static_cast<std::size_t>(v)]);
     }
+    // Only the frontier's undiscovered neighbors can join this round (no
+    // other node has an occupied slot), so scan just those — sorted, to
+    // reproduce the ascending-id discovery order of a full node sweep.
+    cand.clear();
+    for (const NodeId v : frontier) {
+      for (const AdjEntry& a : g.adj(v)) {
+        if (t.depth[static_cast<std::size_t>(a.to)] != -1) continue;
+        if (cand_seen[static_cast<std::size_t>(a.to)]) continue;
+        cand_seen[static_cast<std::size_t>(a.to)] = 1;
+        cand.push_back(a.to);
+      }
+    }
+    std::sort(cand.begin(), cand.end());
     net.end_round();
     std::vector<NodeId> next;
-    for (NodeId v = 0; v < g.n(); ++v) {
-      if (t.depth[static_cast<std::size_t>(v)] != -1) continue;
-      // Join via the smallest-id announcing edge (deterministic).
+    for (const NodeId v : cand) {
+      cand_seen[static_cast<std::size_t>(v)] = 0;
+      // Join via the smallest-id announcing edge (deterministic). Slot
+      // read: v's CSR row is scanned in ascending edge order elsewhere, but
+      // adj order is not guaranteed sorted, so track the minimum explicitly.
       EdgeId best = kNoEdge;
-      for (const Message& m : net.inbox(v)) {
-        if (best == kNoEdge || m.via < best) best = m.via;
+      for (const AdjEntry& a : g.adj(v)) {
+        if (!net.slot_has(net.slot_from(a.edge, a.to))) continue;
+        if (best == kNoEdge || a.edge < best) best = a.edge;
       }
       if (best == kNoEdge) continue;
       const NodeId p = g.edge(best).other(v);

@@ -1,8 +1,9 @@
 #include "congest/compiled_network.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <memory>
 #include <optional>
-#include <set>
 
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -32,6 +33,17 @@ CompiledRoundResult execute_ma_round(
   const minoragg::RoundPlan& plan = engine.plan(contract);
   const std::span<const int> part(plan.group_of.data(), plan.group_of.size());
 
+  // Partition state for the three part-wise aggregations below, hung off the
+  // cached plan: rebuilt or LRU-evicted plans drop it, so it is invalidated
+  // exactly when the plan key (= the part vector's provenance) changes.
+  // Within one MA round the three PAs share it; across Borůvka iterations
+  // with unchanged contraction it persists.
+  PartwiseCache* pcache = nullptr;
+  if (net.wire_config().partwise_cache) {
+    if (plan.congest_cache == nullptr) plan.congest_cache = std::make_shared<PartwiseCache>();
+    pcache = static_cast<PartwiseCache*>(plan.congest_cache.get());
+  }
+
   CompiledRoundResult out;
 
   // Step 1: leader election — min-fold of node ids per part. (The plan
@@ -41,7 +53,7 @@ CompiledRoundResult execute_ma_round(
     UMC_OBS_SPAN_VAR_L(obs_phase, "compiled/leader_election", "compiled", net.rounds());
     std::vector<std::int64_t> ids(static_cast<std::size_t>(g.n()));
     for (NodeId v = 0; v < g.n(); ++v) ids[static_cast<std::size_t>(v)] = v;
-    const PartwiseResult leaders = partwise_aggregate(net, part, ids, PartwiseOp::kMin);
+    const PartwiseResult leaders = partwise_aggregate(net, part, ids, PartwiseOp::kMin, pcache);
     out.supernode.resize(static_cast<std::size_t>(g.n()));
     for (NodeId v = 0; v < g.n(); ++v)
       out.supernode[static_cast<std::size_t>(v)] =
@@ -52,7 +64,8 @@ CompiledRoundResult execute_ma_round(
   // Step 2: consensus.
   {
     UMC_OBS_SPAN_VAR_L(obs_phase, "compiled/consensus", "compiled", net.rounds());
-    const PartwiseResult consensus = partwise_aggregate(net, part, node_input, consensus_op);
+    const PartwiseResult consensus =
+        partwise_aggregate(net, part, node_input, consensus_op, pcache);
     out.consensus = consensus.value;
   }
 
@@ -66,13 +79,13 @@ CompiledRoundResult execute_ma_round(
       for (const AdjEntry& a : csr.row(v))
         net.send(v, a.edge, out.consensus[static_cast<std::size_t>(v)]);
     net.end_round();
-    for (NodeId v = 0; v < g.n(); ++v) {
-      for (const Message& m : net.inbox(v)) {
-        const Edge& ed = g.edge(m.via);
-        // Slot 2e+0 holds y at u's side FROM v; addressed by receiver side.
-        const std::size_t slot = static_cast<std::size_t>(m.via) * 2 + (v == ed.v ? 1 : 0);
-        y_other[slot] = m.payload;
-      }
+    // Slot reads: u's send occupies wire slot 2e+0 and is the y held at v
+    // (y_other[2e+1]); symmetrically for v's send. A slot empty under
+    // faults leaves y_other at 0, exactly like the seed's missing message.
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const std::size_t s = static_cast<std::size_t>(e) * 2;
+      if (net.slot_has(s)) y_other[s + 1] = net.slot_payload(s);
+      if (net.slot_has(s + 1)) y_other[s] = net.slot_payload(s + 1);
     }
   }
 
@@ -99,7 +112,7 @@ CompiledRoundResult execute_ma_round(
       partial[static_cast<std::size_t>(me.u)] = fold(partial[static_cast<std::size_t>(me.u)], zu);
       partial[static_cast<std::size_t>(me.v)] = fold(partial[static_cast<std::size_t>(me.v)], zv);
     }
-    const PartwiseResult agg = partwise_aggregate(net, part, partial, aggregate_op);
+    const PartwiseResult agg = partwise_aggregate(net, part, partial, aggregate_op, pcache);
     out.aggregate = agg.value;
   }
 
@@ -120,17 +133,17 @@ CompiledRoundResult execute_ma_round(
 
 namespace {
 
-/// Journal every node's Borůvka state (its incident selected edges) for
-/// MA round `ma_round`.
-void checkpoint_selected(NodeCheckpointStore& ckpt, const WeightedGraph& g,
-                         const std::vector<bool>& selected, std::int64_t ma_round) {
-  const CsrAdjacency& csr = g.csr();
-  for (NodeId v = 0; v < g.n(); ++v) {
-    std::vector<std::int64_t> words;
-    for (const AdjEntry& a : csr.row(v))
-      if (selected[static_cast<std::size_t>(a.edge)]) words.push_back(a.edge);
-    ckpt.save(v, ma_round, std::move(words));
+/// Journal one committed MA round: each node appends the ids of its NEWLY
+/// selected incident edges (the delta; see NodeCheckpointStore on why the
+/// cumulative journal is the full snapshot for Borůvka).
+void checkpoint_delta(NodeCheckpointStore& ckpt, const WeightedGraph& g,
+                      std::span<const EdgeId> fresh, std::int64_t ma_round) {
+  for (const EdgeId e : fresh) {
+    const Edge& ed = g.edge(e);
+    ckpt.append(ed.u, e);
+    ckpt.append(ed.v, e);
   }
+  ckpt.commit(ma_round);
 }
 
 /// Rebuild the global selected set as the union of all node journals — the
@@ -139,8 +152,7 @@ void checkpoint_selected(NodeCheckpointStore& ckpt, const WeightedGraph& g,
                                                  const WeightedGraph& g) {
   std::vector<bool> selected(static_cast<std::size_t>(g.m()), false);
   for (NodeId v = 0; v < g.n(); ++v)
-    for (const std::int64_t e : ckpt.last(v).words)
-      selected[static_cast<std::size_t>(e)] = true;
+    for (const std::int64_t e : ckpt.words(v)) selected[static_cast<std::size_t>(e)] = true;
   return selected;
 }
 
@@ -164,10 +176,14 @@ CompiledBoruvkaResult compiled_boruvka(CongestNetwork& net,
   CompiledBoruvkaResult out;
   std::vector<bool> selected(static_cast<std::size_t>(g.m()), false);
   NodeCheckpointStore ckpt(g.n());
-  if (injector != nullptr) checkpoint_selected(ckpt, g, selected, /*ma_round=*/0);
+  if (injector != nullptr) ckpt.commit(/*ma_round=*/0);  // empty initial journal
   const std::vector<std::int64_t> zeros(static_cast<std::size_t>(g.n()), 0);
   int consecutive_rollbacks = 0;
   std::vector<NodeId> crashed;
+  // Per-iteration scratch, reused: the chosen-edge list plus a dedup mark
+  // per edge (reset via the list, not O(m) per round).
+  std::vector<EdgeId> chosen;
+  std::vector<bool> chosen_mark(static_cast<std::size_t>(g.m()), false);
   for (;;) {
     const std::int64_t round_start = net.rounds();
     std::optional<CompiledRoundResult> round;
@@ -210,17 +226,30 @@ CompiledBoruvkaResult compiled_boruvka(CongestNetwork& net,
     consecutive_rollbacks = 0;
     ++out.ma_rounds;
 
-    std::set<EdgeId> chosen;
+    chosen.clear();
     bool single = true;
     for (NodeId v = 0; v < g.n(); ++v) {
       if (round->supernode[static_cast<std::size_t>(v)] != round->supernode[0]) single = false;
       const std::int64_t key = round->aggregate[static_cast<std::size_t>(v)];
-      if (key != std::numeric_limits<std::int64_t>::max()) chosen.insert(unpack_edge(key));
+      if (key == std::numeric_limits<std::int64_t>::max()) continue;
+      const EdgeId e = unpack_edge(key);
+      UMC_ASSERT_MSG(e >= 0 && static_cast<std::size_t>(e) < chosen_mark.size(),
+                     "aggregate fold yielded an out-of-range edge id");
+      if (chosen_mark[static_cast<std::size_t>(e)]) continue;
+      chosen_mark[static_cast<std::size_t>(e)] = true;
+      chosen.push_back(e);
     }
     if (single) break;
     UMC_ASSERT_MSG(!chosen.empty(), "compiled boruvka requires a connected graph");
-    for (const EdgeId e : chosen) selected[static_cast<std::size_t>(e)] = true;
-    if (injector != nullptr) checkpoint_selected(ckpt, g, selected, out.ma_rounds);
+    // Ascending order, matching the seed's std::set iteration (deterministic
+    // journal order for the checkpoint delta below).
+    std::sort(chosen.begin(), chosen.end());
+    UMC_ASSERT(static_cast<std::size_t>(chosen.back()) < chosen_mark.size());
+    for (const EdgeId e : chosen) {
+      selected[static_cast<std::size_t>(e)] = true;
+      chosen_mark[static_cast<std::size_t>(e)] = false;
+    }
+    if (injector != nullptr) checkpoint_delta(ckpt, g, chosen, out.ma_rounds);
   }
   for (EdgeId e = 0; e < g.m(); ++e)
     if (selected[static_cast<std::size_t>(e)]) out.tree.push_back(e);

@@ -8,12 +8,27 @@
 // Theorem 1 experiment reports.
 //
 // Algorithms are written as explicit round loops: stage messages with
-// `send`, call `end_round` to deliver, read `inbox`.
+// `send`, call `end_round` to deliver, read the wire.
+//
+// Wire storage (the fast path): the 2m edge-direction slots that the model
+// already tracks for the one-message-per-direction rule ARE the storage — a
+// preallocated structure-of-arrays (payload word, aux word, occupancy
+// bitmap), double-buffered as a write view (sends of the current round) and
+// a read view (deliveries of the last round) that `end_round` flips. A
+// physical round therefore allocates nothing, and receivers address their
+// CSR row's slots directly (`slot_has`/`slot_payload`/`slot_aux`) instead of
+// scanning inbox vectors. The legacy `inbox()` interface is kept as a
+// compatibility shim, materialized lazily from the read view (and eagerly on
+// the fault path, which must preserve duplicated messages).
 //
 // Fault injection: a FaultInjector attached via `attach_fault_injector` is
 // consulted on every physical delivery and may drop, duplicate, or corrupt
-// wire traffic and suppress messages of crash-stopped nodes. `end_round` is
-// virtual so a reliability layer (fault::ReliableChannel) can compile one
+// wire traffic and suppress messages of crash-stopped nodes. The injector
+// API is message-vector based; when one is attached, the wire materializes
+// the staged slots into a send-ordered vector, filters it, and scatters the
+// survivors back into the slot view (last write wins per slot) — fault plans
+// see and mutate exactly the traffic they saw on the seed path. `end_round`
+// is virtual so a reliability layer (fault::ReliableChannel) can compile one
 // logical round into several physical ack/retry rounds while algorithm code
 // stays unchanged.
 
@@ -61,14 +76,32 @@ class FaultInjector {
   virtual void note_recovery(std::int64_t round, NodeId v) { (void)round; (void)v; }
 };
 
+/// Which data path `end_round` runs.
+enum class WireMode {
+  /// Slot-addressed double-buffered wire; zero allocation per round.
+  kSlot,
+  /// Seed-era message path (per-round inbox vector churn), retained as the
+  /// differential-testing and benchmarking reference. Slot reads still work
+  /// (the read view is populated after delivery).
+  kReference,
+};
+
+struct WireConfig {
+  WireMode mode = WireMode::kSlot;
+  /// Let compiled drivers reuse part-wise aggregation state cached on the
+  /// contraction plan (see congest/partwise.hpp). Off = seed behavior.
+  bool partwise_cache = true;
+};
+
 class CongestNetwork {
  public:
-  explicit CongestNetwork(const WeightedGraph& g);
+  explicit CongestNetwork(const WeightedGraph& g, WireConfig wire = {});
   virtual ~CongestNetwork() = default;
   CongestNetwork(const CongestNetwork&) = delete;
   CongestNetwork& operator=(const CongestNetwork&) = delete;
 
   [[nodiscard]] const WeightedGraph& graph() const { return *g_; }
+  [[nodiscard]] const WireConfig& wire_config() const { return wire_; }
 
   /// Stage a message from `from` over edge `via` (delivered to the other
   /// endpoint at `end_round`). At most one message per (edge, direction)
@@ -81,8 +114,31 @@ class CongestNetwork {
   /// compilation of the same logical round.
   virtual void end_round();
 
-  /// Messages delivered to v in the most recent round.
+  // --- Slot read view (the fast path) ------------------------------------
+  //
+  // Valid after `end_round` until the next `end_round`. The slot of the
+  // message `sender` put on edge e is 2e + (sender == edge(e).v). On the
+  // fault path a duplicated slot holds its last surviving copy; algorithms
+  // that must observe duplicates (none in-tree) read `inbox()` instead.
+
+  /// Slot index of the direction `sender -> other` of edge `e`.
+  [[nodiscard]] std::size_t slot_from(EdgeId e, NodeId sender) const {
+    return static_cast<std::size_t>(e) * 2 + (sender == g_->edge(e).v ? 1 : 0);
+  }
+  [[nodiscard]] bool slot_has(std::size_t slot) const {
+    return ((read_occ_[slot >> 6] >> (slot & 63)) & 1u) != 0;
+  }
+  [[nodiscard]] std::int64_t slot_payload(std::size_t slot) const {
+    return read_payload_[slot];
+  }
+  [[nodiscard]] std::int64_t slot_aux(std::size_t slot) const {
+    return read_aux_[slot];
+  }
+
+  /// Messages delivered to v in the most recent round (compatibility shim;
+  /// materialized lazily from the slot read view in original send order).
   [[nodiscard]] const std::vector<Message>& inbox(NodeId v) const {
+    if (compat_dirty_) materialize_compat();
     return inbox_[static_cast<std::size_t>(v)];
   }
 
@@ -102,17 +158,56 @@ class CongestNetwork {
   /// deliver survivors, clear staging, advance the round counter.
   void deliver_physical();
 
-  [[nodiscard]] std::vector<Message>& staged() { return staged_; }
-  [[nodiscard]] std::vector<std::vector<Message>>& inboxes() { return inbox_; }
+  /// Number of messages staged (sends since the last delivery).
+  [[nodiscard]] std::size_t staged_count() const { return order_.size(); }
+
+  /// Reconstruct the staged traffic as Message structs in send order
+  /// (without consuming the staging). The ARQ layer journals these.
+  void materialize_staged(std::vector<Message>& out) const;
+
+  /// Drop all staged traffic (write view back to empty).
   void clear_staging();
 
+  /// Install an externally assembled logical delivery (one message per slot
+  /// at most, any order): becomes both the `inbox()` contents verbatim and
+  /// the slot read view. Used by the ARQ layer after dedup/reassembly.
+  void set_logical_delivery(std::vector<std::vector<Message>>&& logical);
+
  private:
+  void deliver_slot_fast();
+  void deliver_with_messages();  // fault path and kReference mode
+  void materialize_compat() const;
+  /// Clear the read view's occupancy (via read_order_) and the compat
+  /// inboxes (via compat_nonempty_).
+  void reset_read_view();
+  void scatter_to_read_view(const Message& m);
+  void round_metrics(std::size_t staged_n);
+
   const WeightedGraph* g_;
+  WireConfig wire_;
   FaultInjector* fault_ = nullptr;
   std::int64_t rounds_ = 0;
-  std::vector<Message> staged_;
-  std::vector<bool> slot_used_;  // 2 slots per edge: 2*e + (from==edge.v)
-  std::vector<std::vector<Message>> inbox_;
+
+  // Write view: slots staged by send() since the last end_round.
+  std::vector<std::uint64_t> write_occ_;
+  std::vector<std::int64_t> write_payload_;
+  std::vector<std::int64_t> write_aux_;
+  std::vector<std::uint32_t> order_;  // staged slots in send order
+
+  // Read view: slots delivered by the most recent end_round.
+  std::vector<std::uint64_t> read_occ_;
+  std::vector<std::int64_t> read_payload_;
+  std::vector<std::int64_t> read_aux_;
+  std::vector<std::uint32_t> read_order_;  // occupied slots, delivery order
+
+  // inbox() compatibility shim. Mutable: materialization is logically const
+  // (a cache of the read view). compat_nonempty_ bounds clearing to the
+  // nodes actually touched last round instead of O(n) every round.
+  mutable std::vector<std::vector<Message>> inbox_;
+  mutable std::vector<NodeId> compat_nonempty_;
+  mutable bool compat_dirty_ = false;
+
+  std::vector<Message> wire_scratch_;  // fault/reference path staging
 };
 
 }  // namespace umc::congest

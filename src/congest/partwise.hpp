@@ -36,8 +36,68 @@ struct PartwiseResult {
   int num_large_parts = 0;
 };
 
+/// Input-independent state of one partition, reusable across aggregations
+/// over the same `part` vector: member lists, the small/large split, the
+/// worst small-part eccentricity (the per-part BFS this layer's hot loop
+/// used to redo every call), and — fault-free only — the global BFS tree
+/// plus the convergecast demand table of the large phase. Compiled drivers
+/// hang one of these off the RoundEngine's cached RoundPlan, so it is
+/// invalidated exactly when the contraction plan key changes; every other
+/// holder must guarantee the `part` span is unchanged between calls.
+///
+/// Also owns the per-call value scratch (totals, convergecast accumulators,
+/// broadcast bookkeeping), so a cache-hit aggregation allocates nothing.
+struct PartwiseCache {
+  bool built = false;
+  int num_parts = 0;
+  // Members of part p: members[member_begin[p] .. member_begin[p+1]).
+  std::vector<std::int64_t> member_begin;
+  std::vector<NodeId> members;
+  std::vector<int> large_index;  // per part: index among large parts or -1
+  int num_large = 0;
+  std::int64_t small_rounds = 0;  // max over small parts of 2*ecc + 2
+
+  // Large-phase topology. Built (and valid) only on fault-free networks:
+  // with an injector attached the BFS flood must really run, because faults
+  // may reshape the tree and the fault schedule must see the real traffic.
+  bool large_built = false;
+  BfsTree bfs;
+  std::int64_t bfs_rounds = 0;
+  std::vector<char> contains;  // [v*L + l]: subtree(v) holds part l
+  std::vector<int> need;       // [v*L + l]: children of v holding part l
+
+  // Per-call scratch (values, not topology).
+  std::vector<std::int64_t> total;        // per part
+  std::vector<std::int64_t> have;         // [v*L + l] convergecast folds
+  std::vector<int> got;                   // [v*L + l] child messages seen
+  std::vector<char> sent;                 // [v*L + l] upward send done
+  std::vector<char> know;                 // [v*L + l] broadcast received
+  std::vector<char> forwarded;            // [c*L + l] parent forwarded to c
+  std::vector<std::int64_t> large_total;  // per large part
+  std::vector<int> ecc_dist;              // BFS scratch, reset per part
+
+  // Worklist scratch for the event-driven large-phase schedules: per node,
+  // the number of parts it could emit next round; membership flag and the
+  // list itself; and this round's actual senders (the only slots worth
+  // probing after end_round). The schedules visit only nodes with pending
+  // work instead of sweeping all n nodes every round — the per-round
+  // message sets are unchanged, so rounds and traffic are identical.
+  std::vector<int> pending;
+  std::vector<char> in_active;
+  std::vector<NodeId> active;
+  std::vector<NodeId> round_senders;
+};
+
 /// part[v] = part id (>= 0) or -1 for "no part". Parts must induce
 /// connected subgraphs.
+///
+/// `cache`, if non-null, is consulted and filled as described on
+/// PartwiseCache; round counts and outputs are identical with or without
+/// one. Null runs the build every call (seed behavior).
+[[nodiscard]] PartwiseResult partwise_aggregate(CongestNetwork& net, std::span<const int> part,
+                                                std::span<const std::int64_t> input,
+                                                PartwiseOp op, PartwiseCache* cache);
+
 [[nodiscard]] PartwiseResult partwise_aggregate(CongestNetwork& net, std::span<const int> part,
                                                 std::span<const std::int64_t> input,
                                                 PartwiseOp op = PartwiseOp::kSum);

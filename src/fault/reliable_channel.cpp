@@ -59,8 +59,9 @@ constexpr std::uint64_t kAckSalt = 0xAC4BACC4ULL;
 
 }  // namespace
 
-ReliableChannel::ReliableChannel(const WeightedGraph& g, FaultModel* model, ReliableConfig cfg)
-    : CongestNetwork(g),
+ReliableChannel::ReliableChannel(const WeightedGraph& g, FaultModel* model, ReliableConfig cfg,
+                                 congest::WireConfig wire)
+    : CongestNetwork(g, wire),
       model_(model),
       cfg_(cfg),
       next_seq_(static_cast<std::size_t>(g.m()) * 2, 1),
@@ -77,12 +78,12 @@ void ReliableChannel::end_round() {
 #endif
   // Fault-free compilation is the identity: exactly the base one-round
   // delivery, so p = 0 runs are bit-identical to the plain simulator.
-  if (model_ == nullptr || model_->plan().trivial() || staged().empty()) {
+  if (model_ == nullptr || model_->plan().trivial() || staged_count() == 0) {
     CongestNetwork::end_round();
     return;
   }
   UMC_OBS_SPAN_VAR_L(obs_logical, "arq/logical_round", "arq", stats_.logical_rounds);
-  obs_logical.arg("staged", static_cast<std::int64_t>(staged().size()));
+  obs_logical.arg("staged", static_cast<std::int64_t>(staged_count()));
 
   const WeightedGraph& g = graph();
   const std::size_t num_slots = static_cast<std::size_t>(g.m()) * 2;
@@ -96,8 +97,9 @@ void ReliableChannel::end_round() {
   };
   std::vector<Pending> pending;
   std::vector<int> pending_at(num_slots, -1);
-  pending.reserve(staged().size());
-  for (const congest::Message& m : staged()) {
+  materialize_staged(staged_scratch_);
+  pending.reserve(staged_scratch_.size());
+  for (const congest::Message& m : staged_scratch_) {
     const std::size_t slot = slot_of(g, m);
     pending_at[slot] = static_cast<int>(pending.size());
     pending.push_back(Pending{m, next_seq_[slot]++, false});
@@ -211,8 +213,9 @@ void ReliableChannel::end_round() {
     }
   }
 
-  // The logical round is fully delivered; expose the assembled inboxes.
-  inboxes().swap(logical);
+  // The logical round is fully delivered; expose the assembled inboxes
+  // (and the matching slot read view — dedup guarantees one per slot).
+  set_logical_delivery(std::move(logical));
 }
 
 }  // namespace umc::fault

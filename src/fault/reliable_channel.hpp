@@ -62,8 +62,10 @@ class ReliableChannel final : public congest::CongestNetwork {
  public:
   /// `model` may be nullptr (pure pass-through). Not owned; must outlive
   /// the channel. The model is attached to the physical layer as the
-  /// network's fault injector.
-  ReliableChannel(const WeightedGraph& g, FaultModel* model, ReliableConfig cfg = {});
+  /// network's fault injector. `wire` selects the physical data path
+  /// (slot-addressed fast wire by default).
+  ReliableChannel(const WeightedGraph& g, FaultModel* model, ReliableConfig cfg = {},
+                  congest::WireConfig wire = {});
 
   void end_round() override;
 
@@ -74,6 +76,7 @@ class ReliableChannel final : public congest::CongestNetwork {
   ReliableConfig cfg_;
   std::vector<std::int64_t> next_seq_;   // per wire slot, sender journal
   std::vector<std::int64_t> acked_seq_;  // per wire slot, receiver journal
+  std::vector<congest::Message> staged_scratch_;  // journal assembly buffer
   ReliableStats stats_;
 };
 

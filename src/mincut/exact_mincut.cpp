@@ -1,7 +1,9 @@
 #include "mincut/exact_mincut.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 
 #include "congest/gather_baseline.hpp"
@@ -10,11 +12,17 @@
 #include "minoragg/tree_primitives.hpp"
 #include "obs/trace.hpp"
 #include "tree/rooted_tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::mincut {
 
 ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
                                const PackingConfig& config) {
+  return exact_mincut(g, rng, ledger, config, ThreadPool::configured_threads());
+}
+
+ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                               const PackingConfig& config, int num_threads) {
   UMC_ASSERT(g.n() >= 2);
   UMC_OBS_SPAN_VAR_L(obs_exact, "mincut/exact", "mincut", ledger.rounds());
   obs_exact.arg("n", g.n());
@@ -30,17 +38,41 @@ ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledge
   }
 
   const TreePacking packing = tree_packing(g, rng, ledger, config);
-  out.num_trees = static_cast<int>(packing.trees.size());
+  const std::size_t num_trees = packing.trees.size();
+  out.num_trees = static_cast<int>(num_trees);
 
   // Every min-cut 2-respects some tree of the packing (whp); orient each
   // (unrooted) packing tree (Theorem 48), then solve the deterministic
-  // 2-respecting problem and keep the best.
-  for (std::size_t i = 0; i < packing.trees.size(); ++i) {
+  // 2-respecting problem and keep the best. The trees are independent: each
+  // runs as a pool job with a private Ledger and a disjoint result slot, and
+  // everything merges below in tree-index order — cut value, winning-tree
+  // choice, and charged rounds are bit-identical at any thread width.
+  std::vector<CutResult> results(num_trees);
+  std::vector<minoragg::Ledger> tree_ledgers(num_trees);
+  const int width =
+      static_cast<int>(std::min<std::size_t>(num_trees,
+                                             static_cast<std::size_t>(std::max(1, num_threads))));
+  // The tree primitives inside the solver are width-parallel themselves;
+  // when the per-tree fan-out is real they must degrade inline (nested
+  // pool runs are forbidden). When it is not — one tree, or width 1 — keep
+  // them parallel, exactly the seed behavior.
+  const bool fan_out = width > 1 && num_trees > 1;
+  ThreadPool::global().run(num_trees, width, [&](std::size_t i) {
+    std::optional<ThreadPool::SequentialScope> inner_sequential;
+    if (fan_out) inner_sequential.emplace();
     UMC_OBS_SPAN_VAR_L(obs_tree, "mincut/two_respect_tree", "mincut",
                        static_cast<std::int64_t>(i));
-    (void)minoragg::orient_tree(g, packing.trees[i], /*root=*/0, ledger);
-    const CutResult r = two_respecting_mincut(g, packing.trees[i], /*root=*/0, ledger);
-    if (r.value < out.value) {
+    obs_tree.arg("pool_thread", ThreadPool::current_index());
+    (void)minoragg::orient_tree(g, packing.trees[i], /*root=*/0, tree_ledgers[i]);
+    results[i] = two_respecting_mincut(g, packing.trees[i], /*root=*/0, tree_ledgers[i]);
+  });
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    // Sequential absorption in index order reproduces the seed's direct
+    // charging: rounds sum either way, additive counters commute, and
+    // "max_" counters take the same global max.
+    ledger.charge_sequential(tree_ledgers[i]);
+    const CutResult& r = results[i];
+    if (r.value < out.value) {  // strict: ties keep the lowest tree index
       out.value = r.value;
       out.e = r.e;
       out.f = r.f;

@@ -31,9 +31,22 @@ struct ExactMinCutResult {
 
 /// Requires a connected graph with n >= 2. Randomness is used only by the
 /// tree packing; the 2-respecting solver is deterministic.
+///
+/// The per-tree 2-respecting solves run as parallel jobs on the shared
+/// util::ThreadPool (width = the UMC_THREADS knob), each into its own
+/// Ledger; results and ledgers are merged in tree-index order, so the cut
+/// value, winning tree, and every charged round count are bit-identical at
+/// any thread width.
 [[nodiscard]] ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng,
                                              minoragg::Ledger& ledger,
                                              const PackingConfig& config = {});
+
+/// Same, with an explicit thread width for the per-tree solves instead of
+/// the UMC_THREADS knob (which is read once per process — this overload is
+/// what width-sweep tests and benches use).
+[[nodiscard]] ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng,
+                                             minoragg::Ledger& ledger,
+                                             const PackingConfig& config, int num_threads);
 
 // ---------------------------------------------------------------------------
 // Graceful degradation: guarded execution with runtime self-checks.

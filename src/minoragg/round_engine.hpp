@@ -90,6 +90,14 @@ struct RoundPlan {
   /// of the sequential reference fold.
   std::vector<std::int32_t> inc_begin;
   std::vector<std::uint32_t> inc;
+
+  /// Slot for downstream layers to hang plan-derived state on (the CONGEST
+  /// compiler stores a congest::PartwiseCache keyed by group_of here).
+  /// Type-erased so this layer carries no dependency on those layers; it
+  /// dies with the plan — rebuild or LRU eviction — which is precisely the
+  /// invalidation rule such state needs (the cache key IS the plan key).
+  /// Mutable: filling it is caching, not a logical mutation of the plan.
+  mutable std::shared_ptr<void> congest_cache;
 };
 
 /// Typed scratch buffers keyed by (element type, slot). Copying an engine

@@ -53,7 +53,17 @@ namespace {
 // Set while a thread executes a pool job body. Detects nested run() calls,
 // which would deadlock on run_mu_ instead of tripping a state assert.
 thread_local bool tls_in_pool_job = false;
+// Depth of SequentialScope guards on this thread; > 0 forces run() inline.
+thread_local int tls_sequential_depth = 0;
+// 0 on non-worker threads, worker id + 1 on pool workers.
+thread_local int tls_pool_index = 0;
 }  // namespace
+
+ThreadPool::SequentialScope::SequentialScope() { ++tls_sequential_depth; }
+
+ThreadPool::SequentialScope::~SequentialScope() { --tls_sequential_depth; }
+
+int ThreadPool::current_index() { return tls_pool_index; }
 
 void ThreadPool::drain(std::uint64_t gen) {
   for (;;) {
@@ -84,6 +94,7 @@ void ThreadPool::drain(std::uint64_t gen) {
 }
 
 void ThreadPool::worker_loop(int id) {
+  tls_pool_index = id + 1;
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -99,7 +110,7 @@ void ThreadPool::worker_loop(int id) {
 void ThreadPool::run(std::size_t count, int width,
                      const std::function<void(std::size_t)>& job) {
   if (count == 0) return;
-  if (width <= 1 || count == 1) {
+  if (width <= 1 || count == 1 || tls_sequential_depth > 0) {
     for (std::size_t i = 0; i < count; ++i) job(i);
     return;
   }

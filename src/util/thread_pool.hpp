@@ -52,6 +52,25 @@ class ThreadPool {
   /// Number of worker threads currently spawned (excludes callers).
   [[nodiscard]] int workers() const;
 
+  /// While alive on a thread, run() calls from that thread degrade to the
+  /// inline sequential loop regardless of the requested width. Outer
+  /// parallel drivers (e.g. the per-tree fan-out in exact_mincut) install
+  /// one inside each job so width-parallel library code they call nests
+  /// safely — outputs are width-independent by the Def. 7 contract, so
+  /// forcing the inner width to 1 changes nothing observable.
+  class SequentialScope {
+   public:
+    SequentialScope();
+    ~SequentialScope();
+    SequentialScope(const SequentialScope&) = delete;
+    SequentialScope& operator=(const SequentialScope&) = delete;
+  };
+
+  /// Stable index of the calling thread within the pool: 0 for any thread
+  /// that is not a pool worker (submitters included), worker id + 1 for
+  /// workers. Observability only — do not branch algorithm logic on it.
+  [[nodiscard]] static int current_index();
+
  private:
   void ensure_workers(int want);
   void worker_loop(int id);

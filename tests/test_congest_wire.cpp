@@ -1,0 +1,244 @@
+// Slot-wire differential suite: the slot-addressed CONGEST wire must be
+// observably identical to the retained reference message path — inbox
+// contents byte for byte, round counts, Borůvka trees — with and without
+// fault plans riding the ARQ; the PartwiseCache must change no output and
+// be invalidated when the contraction pattern changes; exact_mincut must be
+// bit-identical across 1..8 solver threads.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "congest/compiled_network.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/reliable_channel.hpp"
+#include "graph/generators.hpp"
+#include "mincut/exact_mincut.hpp"
+#include "minoragg/ledger.hpp"
+#include "minoragg/round_engine.hpp"
+#include "util/rng.hpp"
+
+namespace umc {
+namespace {
+
+using congest::CongestNetwork;
+using congest::Message;
+using congest::WireConfig;
+using congest::WireMode;
+using fault::FaultModel;
+using fault::FaultPlan;
+using fault::ReliableChannel;
+
+constexpr WireConfig kSlotWire{WireMode::kSlot, /*partwise_cache=*/true};
+constexpr WireConfig kSlotWireNoCache{WireMode::kSlot, /*partwise_cache=*/false};
+constexpr WireConfig kReferenceWire{WireMode::kReference, /*partwise_cache=*/false};
+
+/// Runs `rounds` logical rounds of all-edges flooding and returns every
+/// round's inboxes verbatim — unsorted, so ordering differences between the
+/// wire implementations would fail the comparison too.
+std::vector<std::vector<Message>> flood_transcript(CongestNetwork& net, int rounds) {
+  const WeightedGraph& g = net.graph();
+  std::vector<std::vector<Message>> transcript;
+  for (int r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < g.n(); ++v)
+      for (const AdjEntry& a : g.adj(v)) net.send(v, a.edge, v * 1000 + r, a.edge);
+    net.end_round();
+    for (NodeId v = 0; v < g.n(); ++v) transcript.push_back(net.inbox(v));
+  }
+  return transcript;
+}
+
+std::vector<std::int64_t> random_costs(const WeightedGraph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()));
+  for (auto& c : cost) c = rng.next_in(1, 1000);
+  return cost;
+}
+
+TEST(CongestWire, FloodTranscriptMatchesReferencePath) {
+  const WeightedGraph g = grid_graph(4, 4);
+  CongestNetwork slot(g, kSlotWire);
+  CongestNetwork ref(g, kReferenceWire);
+  EXPECT_EQ(flood_transcript(slot, 5), flood_transcript(ref, 5));
+  EXPECT_EQ(slot.rounds(), ref.rounds());
+
+  // An empty round clears deliveries on both paths.
+  slot.end_round();
+  ref.end_round();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_TRUE(slot.inbox(v).empty());
+    EXPECT_TRUE(ref.inbox(v).empty());
+  }
+}
+
+TEST(CongestWire, SlotViewAgreesWithInboxShim) {
+  const WeightedGraph g = grid_graph(3, 3);
+  CongestNetwork net(g, kSlotWire);
+  // Partial traffic: only even nodes send, so some slots stay empty.
+  for (NodeId v = 0; v < g.n(); v += 2)
+    for (const AdjEntry& a : g.adj(v)) net.send(v, a.edge, 100 + v, 200 + a.edge);
+  net.end_round();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (const AdjEntry& a : g.adj(v)) {
+      const std::size_t s = net.slot_from(a.edge, a.to);  // a.to -> v direction
+      bool in_inbox = false;
+      for (const Message& m : net.inbox(v)) {
+        if (m.via != a.edge) continue;
+        in_inbox = true;
+        EXPECT_EQ(m.payload, net.slot_payload(s));
+        EXPECT_EQ(m.aux, net.slot_aux(s));
+        EXPECT_EQ(m.from, a.to);
+      }
+      EXPECT_EQ(net.slot_has(s), in_inbox);
+    }
+  }
+}
+
+TEST(CongestWire, ArqTranscriptsMatchReferenceAcrossFaultPlans) {
+  const WeightedGraph g = grid_graph(4, 4);
+  for (const double p : {0.0, 0.1, 0.3}) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.drop_p = p;
+    plan.dup_p = p / 2;
+    plan.corrupt_p = p / 2;
+    FaultModel model_slot(g, plan);
+    FaultModel model_ref(g, plan);
+    ReliableChannel slot(g, &model_slot, {}, kSlotWire);
+    ReliableChannel ref(g, &model_ref, {}, kReferenceWire);
+    EXPECT_EQ(flood_transcript(slot, 5), flood_transcript(ref, 5)) << "p=" << p;
+    EXPECT_EQ(slot.rounds(), ref.rounds()) << "p=" << p;
+    EXPECT_EQ(model_slot.log_to_string(), model_ref.log_to_string()) << "p=" << p;
+  }
+}
+
+TEST(CongestWire, FaultPathPreservesDuplicatesInInbox) {
+  const WeightedGraph g = path_graph(3);
+  FaultPlan plan;
+  plan.dup_p = 1.0;
+  FaultModel m(g, plan);
+  CongestNetwork net(g, kSlotWire);
+  net.attach_fault_injector(&m);
+  net.send(0, 0, 7);
+  net.end_round();
+  // The compat inbox keeps both copies; the slot view holds the last one.
+  ASSERT_EQ(net.inbox(1).size(), 2u);
+  EXPECT_EQ(net.inbox(1)[0], net.inbox(1)[1]);
+  EXPECT_TRUE(net.slot_has(net.slot_from(0, 0)));
+  EXPECT_EQ(net.slot_payload(net.slot_from(0, 0)), 7);
+}
+
+TEST(CongestWire, BoruvkaIdenticalAcrossWireModesAndCache) {
+  Rng rng(43);
+  const WeightedGraph g = erdos_renyi_connected(48, 0.15, rng);
+  const auto cost = random_costs(g, 17);
+
+  CongestNetwork ref(g, kReferenceWire);
+  const auto base = congest::compiled_boruvka(ref, cost);
+
+  CongestNetwork slot_nocache(g, kSlotWireNoCache);
+  const auto a = congest::compiled_boruvka(slot_nocache, cost);
+  EXPECT_EQ(a.tree, base.tree);
+  EXPECT_EQ(a.congest_rounds, base.congest_rounds);
+  EXPECT_EQ(a.ma_rounds, base.ma_rounds);
+
+  CongestNetwork slot_cached(g, kSlotWire);
+  const auto b = congest::compiled_boruvka(slot_cached, cost);
+  EXPECT_EQ(b.tree, base.tree);
+  EXPECT_EQ(b.congest_rounds, base.congest_rounds);
+  EXPECT_EQ(b.ma_rounds, base.ma_rounds);
+}
+
+TEST(CongestWire, BoruvkaUnderArqIdenticalAcrossWireModes) {
+  const WeightedGraph g = grid_graph(4, 4);
+  const auto cost = random_costs(g, 9);
+  for (const double p : {0.1, 0.3}) {
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.drop_p = p;
+    FaultModel model_ref(g, plan);
+    ReliableChannel ref(g, &model_ref, {}, kReferenceWire);
+    const auto base = congest::compiled_boruvka(ref, cost);
+
+    FaultModel model_slot(g, plan);
+    ReliableChannel slot(g, &model_slot, {}, kSlotWire);
+    const auto got = congest::compiled_boruvka(slot, cost);
+    EXPECT_EQ(got.tree, base.tree) << "p=" << p;
+    EXPECT_EQ(got.congest_rounds, base.congest_rounds) << "p=" << p;
+    EXPECT_EQ(got.ma_rounds, base.ma_rounds) << "p=" << p;
+    EXPECT_EQ(model_slot.log_to_string(), model_ref.log_to_string()) << "p=" << p;
+  }
+}
+
+TEST(CongestWire, LossWithoutArqStillDetectedOnSlotWire) {
+  const WeightedGraph g = grid_graph(4, 4);
+  const auto cost = random_costs(g, 9);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_p = 0.3;
+  FaultModel model(g, plan);
+  CongestNetwork net(g, kSlotWire);  // plain network: no ack/retry layer
+  net.attach_fault_injector(&model);
+  EXPECT_THROW((void)congest::compiled_boruvka(net, cost), invariant_error);
+}
+
+/// Runs one MA round and returns the full result (asserts inside
+/// execute_ma_round already cross-check leader election against the plan).
+congest::CompiledRoundResult run_ma_round(CongestNetwork& net, minoragg::RoundEngine& engine,
+                                          const std::vector<bool>& contract) {
+  const WeightedGraph& g = net.graph();
+  std::vector<std::int64_t> input(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) input[static_cast<std::size_t>(v)] = v + 1;
+  return congest::execute_ma_round(
+      net, engine, contract, input, congest::PartwiseOp::kSum,
+      [](EdgeId e, std::int64_t yu, std::int64_t yv) {
+        return std::pair<std::int64_t, std::int64_t>{yu + e, yv + e};
+      },
+      congest::PartwiseOp::kMin);
+}
+
+TEST(CongestWire, PartwiseCacheInvalidatesWhenContractionChanges) {
+  const WeightedGraph g = grid_graph(4, 4);
+  std::vector<bool> identity(static_cast<std::size_t>(g.m()), false);
+  std::vector<bool> contracted(static_cast<std::size_t>(g.m()), false);
+  // Contract a handful of edges: parts of size > 1, different plan key.
+  for (EdgeId e = 0; e < g.m(); e += 3) contracted[static_cast<std::size_t>(e)] = true;
+
+  minoragg::RoundEngine engine_cached(g);
+  minoragg::RoundEngine engine_plain(g);
+  CongestNetwork cached(g, kSlotWire);
+  CongestNetwork plain(g, kSlotWireNoCache);
+
+  // A, A again (cache hit), B (new plan => fresh cache), A (LRU plan hit =>
+  // cached partition state again). Any stale reuse across the A/B switch
+  // would produce wrong supernodes (asserted inside) or wrong values here.
+  for (const auto* contract : {&identity, &identity, &contracted, &identity}) {
+    const auto want = run_ma_round(plain, engine_plain, *contract);
+    const auto got = run_ma_round(cached, engine_cached, *contract);
+    EXPECT_EQ(got.consensus, want.consensus);
+    EXPECT_EQ(got.aggregate, want.aggregate);
+    EXPECT_EQ(got.supernode, want.supernode);
+    EXPECT_EQ(got.congest_rounds, want.congest_rounds);
+  }
+  EXPECT_EQ(cached.rounds(), plain.rounds());
+}
+
+TEST(CongestWire, ExactMincutBitIdenticalAcrossThreadWidths) {
+  Rng grng(19);
+  const WeightedGraph g = erdos_renyi_connected(64, 0.2, grng);
+
+  const auto run = [&g](int threads) {
+    Rng rng(7);
+    minoragg::Ledger ledger;
+    const auto r = mincut::exact_mincut(g, rng, ledger, {}, threads);
+    return std::tuple{r.value, r.e, r.f, r.winning_tree, r.num_trees, ledger.rounds()};
+  };
+  const auto want = run(1);
+  EXPECT_GE(std::get<4>(want), 2) << "sweep needs a multi-tree packing to mean anything";
+  for (int t = 2; t <= 8; ++t) EXPECT_EQ(run(t), want) << "threads=" << t;
+}
+
+}  // namespace
+}  // namespace umc
