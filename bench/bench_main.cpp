@@ -15,6 +15,11 @@
 //                             "params": id remainder ("" when none),
 //                             "iterations": N,
 //                             "wall_ms": real time for all iterations,
+//                             "cpu_ms":  main-thread CPU time (the thread-
+//                                        scaling gate compares this: on a
+//                                        width-w solve it drops ~w-fold even
+//                                        when wall time cannot, e.g. on a
+//                                        single-core runner),
 //                             "counters": { "ma_rounds": ..., ... } } ] }
 //
 //             Counters are the same ledger-derived quantities the console
@@ -69,6 +74,7 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
       rec.id = r.benchmark_name();
       rec.iterations = static_cast<long long>(r.iterations);
       rec.wall_ms = r.real_accumulated_time * 1e3;  // seconds -> ms
+      rec.cpu_ms = r.cpu_accumulated_time * 1e3;
       for (const auto& [key, counter] : r.counters) rec.counters.emplace_back(key, counter.value);
       records_.push_back(std::move(rec));
     }
@@ -99,7 +105,7 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
       os << (i == 0 ? "" : ",") << "\n    {\"id\": \"" << json_escape(r.id) << "\", \"name\": \""
          << json_escape(name) << "\", \"params\": \"" << json_escape(params)
          << "\", \"iterations\": " << r.iterations << ", \"wall_ms\": " << r.wall_ms
-         << ", \"counters\": {";
+         << ", \"cpu_ms\": " << r.cpu_ms << ", \"counters\": {";
       for (std::size_t c = 0; c < r.counters.size(); ++c)
         os << (c == 0 ? "" : ", ") << "\"" << json_escape(r.counters[c].first)
            << "\": " << r.counters[c].second;
@@ -113,6 +119,7 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
     std::string id;
     long long iterations = 0;
     double wall_ms = 0.0;
+    double cpu_ms = 0.0;
     std::vector<std::pair<std::string, double>> counters;
   };
   std::vector<Record> records_;

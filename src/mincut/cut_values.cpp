@@ -1,12 +1,18 @@
 #include "mincut/cut_values.hpp"
 
+#include "util/scratch.hpp"
+
 namespace umc::mincut {
 
 std::vector<Weight> reference_cov1(const RootedTree& t) {
   const WeightedGraph& g = t.host();
   const LcaOracle lca(t);
   // Difference trick: +w at both endpoints, -2w at the LCA; subtree-sum.
-  std::vector<Weight> acc(static_cast<std::size_t>(g.n()), 0);
+  // The accumulator is leased scratch (called per base-case instance); the
+  // returned cov vector is the result, so it stays an allocation.
+  ScratchLease<std::vector<Weight>> acc_s;
+  std::vector<Weight>& acc = *acc_s;
+  acc.assign(static_cast<std::size_t>(g.n()), 0);
   for (const Edge& e : g.edges()) {
     acc[static_cast<std::size_t>(e.u)] += e.w;
     acc[static_cast<std::size_t>(e.v)] += e.w;

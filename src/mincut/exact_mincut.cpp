@@ -3,18 +3,44 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <optional>
+#include <deque>
 #include <sstream>
 
 #include "congest/gather_baseline.hpp"
 #include "mincut/two_respect.hpp"
 #include "mincut/witness.hpp"
 #include "minoragg/tree_primitives.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tree/rooted_tree.hpp"
 #include "util/thread_pool.hpp"
 
 namespace umc::mincut {
+
+namespace {
+
+#if !defined(UMC_OBS_DISABLED)
+struct MincutTaskMetrics {
+  obs::Counter& spawned = obs::MetricsRegistry::global().counter(
+      "umc_mincut_tasks_spawned_total", {},
+      "Tasks queued into exact_mincut TaskGraph sessions (tree solves plus "
+      "intra-tree items).");
+  obs::Counter& helped = obs::MetricsRegistry::global().counter(
+      "umc_mincut_tasks_helped_total", {},
+      "Tasks a joining thread claimed from another group's queue instead of "
+      "blocking (help-first scheduling).");
+  obs::Counter& sessions = obs::MetricsRegistry::global().counter(
+      "umc_mincut_task_sessions_total", {},
+      "Non-degraded exact_mincut TaskGraph sessions (width > 1).");
+};
+
+MincutTaskMetrics& mincut_task_metrics() {
+  static MincutTaskMetrics m;
+  return m;
+}
+#endif
+
+}  // namespace
 
 ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
                                const PackingConfig& config) {
@@ -37,35 +63,48 @@ ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledge
     return out;
   }
 
-  const TreePacking packing = tree_packing(g, rng, ledger, config);
-  const std::size_t num_trees = packing.trees.size();
-  out.num_trees = static_cast<int>(num_trees);
-
   // Every min-cut 2-respects some tree of the packing (whp); orient each
   // (unrooted) packing tree (Theorem 48), then solve the deterministic
-  // 2-respecting problem and keep the best. The trees are independent: each
-  // runs as a pool job with a private Ledger and a disjoint result slot, and
+  // 2-respecting problem and keep the best. Packing and solving are
+  // pipelined through a TaskGraph session: the session root runs the
+  // packing producer, and every tree it emits immediately becomes a solve
+  // task — tree 0 starts solving while Borůvka iteration 1 still runs,
+  // instead of waiting behind the full-packing barrier. Each solve gets a
+  // private Ledger and a disjoint result slot (deque elements have stable
+  // addresses, so the closures bind references taken before spawn), and
   // everything merges below in tree-index order — cut value, winning-tree
   // choice, and charged rounds are bit-identical at any thread width.
-  std::vector<CutResult> results(num_trees);
-  std::vector<minoragg::Ledger> tree_ledgers(num_trees);
-  const int width =
-      static_cast<int>(std::min<std::size_t>(num_trees,
-                                             static_cast<std::size_t>(std::max(1, num_threads))));
-  // The tree primitives inside the solver are width-parallel themselves;
-  // when the per-tree fan-out is real they must degrade inline (nested
-  // pool runs are forbidden). When it is not — one tree, or width 1 — keep
-  // them parallel, exactly the seed behavior.
-  const bool fan_out = width > 1 && num_trees > 1;
-  ThreadPool::global().run(num_trees, width, [&](std::size_t i) {
-    std::optional<ThreadPool::SequentialScope> inner_sequential;
-    if (fan_out) inner_sequential.emplace();
-    UMC_OBS_SPAN_VAR_L(obs_tree, "mincut/two_respect_tree", "mincut",
-                       static_cast<std::int64_t>(i));
-    obs_tree.arg("pool_thread", ThreadPool::current_index());
-    (void)minoragg::orient_tree(g, packing.trees[i], /*root=*/0, tree_ledgers[i]);
-    results[i] = two_respecting_mincut(g, packing.trees[i], /*root=*/0, tree_ledgers[i]);
+  // `ledger` and `rng` are touched only by the producer during the session.
+  std::deque<std::vector<EdgeId>> trees;
+  std::deque<CutResult> results;
+  std::deque<minoragg::Ledger> tree_ledgers;
+  const int width = std::max(1, num_threads);
+  const TaskGraph::Stats stats = TaskGraph::session(width, [&] {
+    TaskGroup solves;
+    (void)tree_packing(g, rng, ledger, config, [&](std::vector<EdgeId> tree) {
+      trees.push_back(std::move(tree));
+      const std::vector<EdgeId>& edges = trees.back();
+      CutResult& slot = results.emplace_back();
+      minoragg::Ledger& tree_ledger = tree_ledgers.emplace_back();
+      const auto index = static_cast<std::int64_t>(results.size()) - 1;
+      solves.spawn([&g, &edges, &slot, &tree_ledger, index] {
+        UMC_OBS_SPAN_VAR_L(obs_tree, "mincut/two_respect_tree", "mincut", index);
+        obs_tree.arg("pool_thread", ThreadPool::current_index());
+        (void)minoragg::orient_tree(g, edges, /*root=*/0, tree_ledger);
+        slot = two_respecting_mincut(g, edges, /*root=*/0, tree_ledger);
+      });
+    });
+    solves.join();
   });
+#if !defined(UMC_OBS_DISABLED)
+  mincut_task_metrics().spawned.inc(stats.spawned);
+  mincut_task_metrics().helped.inc(stats.helped);
+  if (stats.width > 1) mincut_task_metrics().sessions.inc();
+#else
+  (void)stats;
+#endif
+  const std::size_t num_trees = results.size();
+  out.num_trees = static_cast<int>(num_trees);
   for (std::size_t i = 0; i < num_trees; ++i) {
     // Sequential absorption in index order reproduces the seed's direct
     // charging: rounds sum either way, additive counters commute, and

@@ -8,6 +8,8 @@
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
 #include "obs/trace.hpp"
+#include "util/scratch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::mincut {
 
@@ -21,8 +23,7 @@ struct Layout {
   std::vector<int> pos;  // index in nodesP / nodesQ; -1 for the root
 };
 
-Layout classify(const PathInstance& inst) {
-  Layout lay;
+void classify_into(const PathInstance& inst, Layout& lay) {
   lay.side.assign(static_cast<std::size_t>(inst.graph.n()), Side::kRoot);
   lay.pos.assign(static_cast<std::size_t>(inst.graph.n()), -1);
   UMC_ASSERT_MSG(static_cast<NodeId>(inst.nodesP.size() + inst.nodesQ.size()) + 1 ==
@@ -36,20 +37,23 @@ Layout classify(const PathInstance& inst) {
     lay.side[static_cast<std::size_t>(inst.nodesQ[j])] = Side::kQ;
     lay.pos[static_cast<std::size_t>(inst.nodesQ[j])] = static_cast<int>(j);
   }
-  return lay;
 }
 
 /// Lemma 21: with e_fix = (fixed_on_p ? edgesP : edgesQ)[idx], returns
 /// Cov(e_fix, f_j) for every edge index j of the OTHER path: one labeling
 /// round (each cross edge below the fixed edge labels its other endpoint)
 /// plus a suffix sum along the other path.
-std::vector<Weight> cov_row(const PathInstance& inst, const Layout& lay, bool fixed_on_p,
-                            std::size_t idx, minoragg::Ledger& ledger) {
+void cov_row_into(const PathInstance& inst, const Layout& lay, bool fixed_on_p,
+                  std::size_t idx, minoragg::Ledger& ledger, std::vector<Weight>& cov) {
   const Side below_side = fixed_on_p ? Side::kP : Side::kQ;
   const Side other_side = fixed_on_p ? Side::kQ : Side::kP;
   const std::size_t other_len = fixed_on_p ? inst.nodesQ.size() : inst.nodesP.size();
 
-  std::vector<std::int64_t> label(other_len, 0);
+  // One labeling row per fixed edge: leased so the inner Monge scans reuse
+  // one label/reversal buffer per thread instead of allocating per row.
+  ScratchLease<std::vector<std::int64_t>> label_s, rev_s;
+  std::vector<std::int64_t>& label = *label_s;
+  label.assign(other_len, 0);
   ledger.charge(1);
   for (const Edge& e : inst.graph.edges()) {
     for (const auto& [a, b] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
@@ -60,8 +64,7 @@ std::vector<Weight> cov_row(const PathInstance& inst, const Layout& lay, bool fi
       label[static_cast<std::size_t>(lay.pos[static_cast<std::size_t>(b)])] += e.w;
     }
   }
-  const auto suffix = minoragg::path_suffix_sums<SumAgg>(label, ledger);
-  return std::vector<Weight>(suffix.begin(), suffix.end());
+  minoragg::path_suffix_sums_into<SumAgg>(label, ledger, *rev_s, cov);
 }
 
 struct RowScan {
@@ -75,7 +78,9 @@ RowScan scan_row(const PathInstance& inst, const Layout& lay, std::span<const We
   const auto& fixed_edges = fixed_on_p ? inst.edgesP : inst.edgesQ;
   const auto& other_edges = fixed_on_p ? inst.edgesQ : inst.edgesP;
   const EdgeId e_fix = fixed_edges[idx];
-  const std::vector<Weight> cov = cov_row(inst, lay, fixed_on_p, idx, ledger);
+  ScratchLease<std::vector<Weight>> cov_s;
+  cov_row_into(inst, lay, fixed_on_p, idx, ledger, *cov_s);
+  const std::vector<Weight>& cov = *cov_s;
   ledger.charge(1);  // min-aggregation broadcast of the row result
 
   RowScan out;
@@ -136,7 +141,11 @@ CutResult solve_separable(const PathInstance& inst, const Layout& lay,
   // CQ[j] (suffix): cross edges {bottom(P), x ∈ Q} cover every e and cover
   // f_j iff j <= pos(x). CP symmetric, with the {bottom(P), bottom(Q)} edge
   // assigned to CQ only (it covers every pair exactly once).
-  std::vector<std::int64_t> cq(inst.nodesQ.size(), 0), cp(inst.nodesP.size(), 0);
+  ScratchLease<std::vector<std::int64_t>> cq_s, cp_s, rev_s, cq_suffix_s, cp_suffix_s;
+  std::vector<std::int64_t>& cq = *cq_s;
+  std::vector<std::int64_t>& cp = *cp_s;
+  cq.assign(inst.nodesQ.size(), 0);
+  cp.assign(inst.nodesP.size(), 0);
   ledger.charge(1);
   for (const Edge& e : inst.graph.edges()) {
     for (const auto& [a, b] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
@@ -151,8 +160,10 @@ CutResult solve_separable(const PathInstance& inst, const Layout& lay,
       }
     }
   }
-  const auto cq_suffix = minoragg::path_suffix_sums<SumAgg>(cq, ledger);
-  const auto cp_suffix = minoragg::path_suffix_sums<SumAgg>(cp, ledger);
+  minoragg::path_suffix_sums_into<SumAgg>(cq, ledger, *rev_s, *cq_suffix_s);
+  minoragg::path_suffix_sums_into<SumAgg>(cp, ledger, *rev_s, *cp_suffix_s);
+  const std::vector<std::int64_t>& cq_suffix = *cq_suffix_s;
+  const std::vector<std::int64_t>& cp_suffix = *cp_suffix_s;
 
   // Interior minimization: min F_P + min F_Q over candidates with index >= 1.
   const auto interior_min = [&](const std::vector<EdgeId>& edges,
@@ -280,7 +291,9 @@ CutResult solve(const PathInstance& inst, minoragg::Ledger& parent, int depth) {
   const HeavyLightDecomposition hld = minoragg::hl_construct(t, local);
   const OneRespectResult r1 = one_respecting_cuts(t, inst.origin, hld, local);
   CutResult best = r1.best;
-  const Layout lay = classify(inst);
+  ScratchLease<Layout> lay_s;
+  classify_into(inst, *lay_s);
+  const Layout& lay = *lay_s;
   const std::size_t np = inst.edgesP.size(), nq = inst.edgesQ.size();
 
   if (!has_candidate(inst, inst.edgesP) || !has_candidate(inst, inst.edgesQ)) {
@@ -316,17 +329,43 @@ CutResult solve(const PathInstance& inst, minoragg::Ledger& parent, int depth) {
   const SubInstances subs = build_sub_instances(inst, a, b, local);
   minoragg::settle_virtual_execution(parent, local, inst.beta());
 
-  // The recursive calls are node-disjoint: schedule them simultaneously.
+  // The recursive calls are node-disjoint: run both as tasks, then merge
+  // up-before-down — the same absorb and charge_parallel order as the
+  // inline recursion, so counters stay bit-identical at any width.
+  CutResult up_best, down_best;
+  minoragg::Ledger up_ledger, down_ledger;
+  {
+    TaskGroup halves;
+    if (subs.up) {
+      const PathInstance& up = *subs.up;
+      halves.spawn([&up, &up_best, &up_ledger, depth] {
+        // Two args max per TraceEvent: kind + pool_thread (depth is the
+        // logical clock; up vs down is visible from span nesting order).
+        UMC_OBS_SPAN_VAR_L(obs_item, "mincut/ttr_item", "mincut", depth);
+        obs_item.arg("kind", 3);  // 3 = path-to-path Monge half
+        obs_item.arg("pool_thread", ThreadPool::current_index());
+        up_best = solve(up, up_ledger, depth + 1);
+      });
+    }
+    if (subs.down) {
+      const PathInstance& down = *subs.down;
+      halves.spawn([&down, &down_best, &down_ledger, depth] {
+        UMC_OBS_SPAN_VAR_L(obs_item, "mincut/ttr_item", "mincut", depth);
+        obs_item.arg("kind", 3);
+        obs_item.arg("pool_thread", ThreadPool::current_index());
+        down_best = solve(down, down_ledger, depth + 1);
+      });
+    }
+    halves.join();
+  }
   std::vector<minoragg::Ledger> kids;
   if (subs.up) {
-    minoragg::Ledger l;
-    best.absorb(solve(*subs.up, l, depth + 1));
-    kids.push_back(std::move(l));
+    best.absorb(up_best);
+    kids.push_back(std::move(up_ledger));
   }
   if (subs.down) {
-    minoragg::Ledger l;
-    best.absorb(solve(*subs.down, l, depth + 1));
-    kids.push_back(std::move(l));
+    best.absorb(down_best);
+    kids.push_back(std::move(down_ledger));
   }
   parent.charge_parallel(kids);
   return best;

@@ -8,6 +8,7 @@
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::mincut {
 
@@ -95,17 +96,54 @@ CutResult star_mincut(const StarInstance& inst, minoragg::Ledger& ledger) {
 
     minoragg::settle_virtual_execution(ledger, local, inst.beta());
 
-    // Process color classes in series; within a class the matched pairs are
-    // node-disjoint, so their path-to-path calls run simultaneously.
+    // The model processes color classes in series (within a class the
+    // matched pairs are node-disjoint and run simultaneously), but that is
+    // a round-accounting structure, not a scheduling constraint: every
+    // (color, pair) item is an independent computation, so all of them are
+    // spawned at once and only the LEDGER merge below walks the classes in
+    // series — absorb in (color, edge-id) order, then charge_parallel per
+    // class — reproducing the sequential charge sequence bit for bit.
+    struct PairItem {
+      int color, i, j;
+    };
+    std::vector<PairItem> items;
     for (int c = 0; c < coloring.num_colors; ++c) {
-      std::vector<minoragg::Ledger> kids;
       for (EdgeId e = 0; e < ig.m(); ++e) {
         if (coloring.color[static_cast<std::size_t>(e)] != c) continue;
         const auto [i, j] = pairs[static_cast<std::size_t>(e)];
-        const PathInstance pair = build_pair_instance(inst, i, j);
-        minoragg::Ledger kid;
-        best.absorb(path_to_path_mincut(pair, kid));
-        kids.push_back(std::move(kid));
+        items.push_back(PairItem{c, i, j});
+      }
+    }
+    struct PairSlot {
+      minoragg::Ledger kid;
+      CutResult best;
+    };
+    std::vector<PairSlot> slots(items.size());
+    {
+      TaskGroup p2p;
+      for (std::size_t x = 0; x < items.size(); ++x) {
+        const PairItem item = items[x];
+        PairSlot& slot = slots[x];
+        p2p.spawn([&inst, item, &slot, x] {
+          UMC_OBS_SPAN_VAR_L(obs_item, "mincut/ttr_item", "mincut",
+                             static_cast<std::int64_t>(x));
+          // TraceEvent holds two args max: kind + pool_thread win the slots
+          // (the flattened item index x is the logical clock).
+          obs_item.arg("kind", 2);  // 2 = star path-to-path pair
+          obs_item.arg("pool_thread", ThreadPool::current_index());
+          const PathInstance pair = build_pair_instance(inst, item.i, item.j);
+          slot.best = path_to_path_mincut(pair, slot.kid);
+        });
+      }
+      p2p.join();
+    }
+    std::size_t x = 0;
+    for (int c = 0; c < coloring.num_colors; ++c) {
+      std::vector<minoragg::Ledger> kids;
+      while (x < items.size() && items[x].color == c) {
+        best.absorb(slots[x].best);
+        kids.push_back(std::move(slots[x].kid));
+        ++x;
       }
       ledger.charge_parallel(kids);
     }

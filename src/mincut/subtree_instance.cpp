@@ -7,7 +7,10 @@
 #include "mincut/star.hpp"
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
+#include "obs/trace.hpp"
 #include "util/math.hpp"
+#include "util/scratch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::mincut {
 
@@ -80,23 +83,57 @@ CutResult between_subtree_mincut(const WeightedGraph& g, std::span<const EdgeId>
 
   minoragg::settle_virtual_execution(ledger, local, beta);
 
+  // Enumerate the (bit, d1, d2) configurations that pass the cheap
+  // surviving-paths pre-check, in loop order. Each is an independent star
+  // solve — a TaskGraph work item writing a private slot — and the merge
+  // below replays `absorb / bump / charge_sequential` in exactly the
+  // enumeration order, so ledger counters are bit-identical at any width.
+  struct StarConfig {
+    int bit, d1, d2;
+  };
+  std::vector<StarConfig> configs;
   for (int bit = 0; bit < chi; ++bit) {
     for (int d1 = 0; d1 <= maxd; ++d1) {
       for (int d2 = 0; d2 <= maxd; ++d2) {
         if (d1 == d2 && bit > 0) continue;  // color-independent, do it once
-        const auto target = [&](int br) {
-          const bool red = ((br >> bit) & 1) != 0;
-          return red ? d1 : d2;
-        };
         // Cheap pre-check: at least two surviving paths needed.
         int surviving = 0;
-        for (const Chain& c : chains)
-          if (c.hl_depth == target(c.branch)) ++surviving;
-        if (surviving < 2) continue;
+        for (const Chain& c : chains) {
+          const bool red = ((c.branch >> bit) & 1) != 0;
+          if (c.hl_depth == (red ? d1 : d2)) ++surviving;
+        }
+        if (surviving >= 2) configs.push_back(StarConfig{bit, d1, d2});
+      }
+    }
+  }
 
-        minoragg::Ledger iter;
-        // Contract every tree edge of the wrong depth (Figure 4).
-        std::vector<bool> contract(static_cast<std::size_t>(g.m()), false);
+  struct StarSlot {
+    minoragg::Ledger iter;
+    CutResult best;
+    bool ran_star = false;
+  };
+  std::vector<StarSlot> slots(configs.size());
+  {
+    TaskGroup stars;
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      const StarConfig cfg = configs[ci];
+      StarSlot& slot = slots[ci];
+      stars.spawn([&, cfg, ci] {
+        UMC_OBS_SPAN_VAR_L(obs_item, "mincut/ttr_item", "mincut",
+                           static_cast<std::int64_t>(ci));
+        obs_item.arg("kind", 1);  // 1 = between-subtree star config
+        obs_item.arg("pool_thread", ThreadPool::current_index());
+        const auto target = [&cfg](int br) {
+          const bool red = ((br >> cfg.bit) & 1) != 0;
+          return red ? cfg.d1 : cfg.d2;
+        };
+        minoragg::Ledger& iter = slot.iter;
+        // Contract every tree edge of the wrong depth (Figure 4). Both
+        // m-sized maps are leased per-thread scratch: every config task on a
+        // worker reuses the same backing capacity.
+        ScratchLease<std::vector<bool>> contract_s;
+        std::vector<bool>& contract = *contract_s;
+        contract.assign(static_cast<std::size_t>(g.m()), false);
         for (const EdgeId e : tree_edges) {
           const int br = branch[static_cast<std::size_t>(t.bottom(e))];
           if (hld.hl_depth_edge(e) != target(br)) contract[static_cast<std::size_t>(e)] = true;
@@ -116,7 +153,9 @@ CutResult between_subtree_mincut(const WeightedGraph& g, std::span<const EdgeId>
         for (NodeId v = 0; v < g.n(); ++v)
           if (is_virtual[static_cast<std::size_t>(v)])
             star.is_virtual[static_cast<std::size_t>(minor.node_map[static_cast<std::size_t>(v)])] = true;
-        std::vector<EdgeId> to_minor_edge(static_cast<std::size_t>(g.m()), kNoEdge);
+        ScratchLease<std::vector<EdgeId>> to_minor_s;
+        std::vector<EdgeId>& to_minor_edge = *to_minor_s;
+        to_minor_edge.assign(static_cast<std::size_t>(g.m()), kNoEdge);
         for (std::size_t e = 0; e < minor.edge_origin.size(); ++e)
           to_minor_edge[static_cast<std::size_t>(minor.edge_origin[e])] = static_cast<EdgeId>(e);
         for (const Chain& c : chains) {
@@ -149,12 +188,19 @@ CutResult between_subtree_mincut(const WeightedGraph& g, std::span<const EdgeId>
           }
         }
         if (has_cross) {
-          best.absorb(star_mincut(star, iter));
-          ledger.bump("subtree_star_calls");
+          slot.best.absorb(star_mincut(star, iter));
+          slot.ran_star = true;
         }
-        ledger.charge_sequential(iter);
-      }
+      });
     }
+    stars.join();
+  }
+  for (const StarSlot& slot : slots) {
+    if (slot.ran_star) {
+      best.absorb(slot.best);
+      ledger.bump("subtree_star_calls");
+    }
+    ledger.charge_sequential(slot.iter);
   }
   return best;
 }

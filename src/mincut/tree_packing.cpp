@@ -34,14 +34,13 @@ Weight binomial_sample(Weight w, double p, Rng& rng) {
 }
 
 /// Greedy Thorup packing: I iterations of minimum-cost spanning tree where
-/// the cost of an edge is its packing load normalized by multiplicity.
-std::vector<std::vector<EdgeId>> greedy_pack(const WeightedGraph& g,
-                                             std::span<const Weight> multiplicity, int iterations,
-                                             minoragg::Ledger& ledger) {
+/// the cost of an edge is its packing load normalized by multiplicity. Each
+/// finished tree is handed to `emit` — in streaming mode that pipelines it
+/// straight into a solve task; in retaining mode the caller just collects.
+void greedy_pack(const WeightedGraph& g, std::span<const Weight> multiplicity, int iterations,
+                 minoragg::Ledger& ledger, const TreeSink& emit) {
   std::vector<std::int64_t> load(static_cast<std::size_t>(g.m()), 0);
   std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()), 0);
-  std::vector<std::vector<EdgeId>> trees;
-  trees.reserve(static_cast<std::size_t>(iterations));
   for (int it = 0; it < iterations; ++it) {
     // cost = load / multiplicity, in fixed point (2^20) so Borůvka can use
     // integer keys; ties broken by edge id inside Borůvka.
@@ -51,16 +50,27 @@ std::vector<std::vector<EdgeId>> greedy_pack(const WeightedGraph& g,
     }
     std::vector<EdgeId> tree = minoragg::boruvka_mst(g, cost, ledger);
     for (const EdgeId e : tree) ++load[static_cast<std::size_t>(e)];
-    trees.push_back(std::move(tree));
     ledger.bump("packing_iterations");
+    emit(std::move(tree));
   }
-  return trees;
 }
 
 }  // namespace
 
 TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
                          const PackingConfig& config) {
+  TreePacking out;
+  TreePacking meta = tree_packing(g, rng, ledger, config,
+                                  [&out](std::vector<EdgeId> tree) {
+                                    out.trees.push_back(std::move(tree));
+                                  });
+  out.lambda_seed = meta.lambda_seed;
+  out.sampled = meta.sampled;
+  return out;
+}
+
+TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                         const PackingConfig& config, const TreeSink& sink) {
   UMC_ASSERT(g.n() >= 2);
   UMC_OBS_SPAN_VAR_L(obs_pack, "mincut/tree_packing", "mincut", ledger.rounds());
   obs_pack.arg("n", g.n());
@@ -83,7 +93,7 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     // Case (A): lambda = O(log n) — direct greedy packing.
     std::vector<Weight> multiplicity(static_cast<std::size_t>(g.m()));
     for (EdgeId e = 0; e < g.m(); ++e) multiplicity[static_cast<std::size_t>(e)] = g.edge(e).w;
-    out.trees = greedy_pack(g, multiplicity, cap(2 * out.lambda_seed * logm), ledger);
+    greedy_pack(g, multiplicity, cap(2 * out.lambda_seed * logm), ledger, sink);
     return out;
   }
 
@@ -113,14 +123,12 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     std::vector<Weight> sample_mult;
     sample_mult.reserve(present.size());
     for (const EdgeId e : present) sample_mult.push_back(multiplicity[static_cast<std::size_t>(e)]);
-    const auto sampled_trees =
-        greedy_pack(sample, sample_mult, cap(2 * lambda_sample * logm), ledger);
-    for (const auto& tree : sampled_trees) {
-      std::vector<EdgeId> mapped;
-      mapped.reserve(tree.size());
-      for (const EdgeId e : tree) mapped.push_back(present[static_cast<std::size_t>(e)]);
-      out.trees.push_back(std::move(mapped));
-    }
+    // Map each tree back to original edge ids before it leaves the packer.
+    greedy_pack(sample, sample_mult, cap(2 * lambda_sample * logm), ledger,
+                [&present, &sink](std::vector<EdgeId> tree) {
+                  for (EdgeId& e : tree) e = present[static_cast<std::size_t>(e)];
+                  sink(std::move(tree));
+                });
     return out;
   }
 }

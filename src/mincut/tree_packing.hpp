@@ -14,6 +14,7 @@
 // paper; this implementation seeds it with the exact Stoer-Wagner value and
 // charges a polylog placeholder round cost for it.
 
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -42,5 +43,20 @@ struct TreePacking {
 [[nodiscard]] TreePacking tree_packing(const WeightedGraph& g, Rng& rng,
                                        minoragg::Ledger& ledger,
                                        const PackingConfig& config = {});
+
+/// Receives each packed tree (edge ids of the input graph) as soon as its
+/// Borůvka iteration finishes, in packing order.
+using TreeSink = std::function<void(std::vector<EdgeId>)>;
+
+/// Streaming variant for the pipelined solve: instead of retaining trees in
+/// the result (`trees` stays empty), each tree is handed to `sink` the
+/// moment it is packed, so consumers can start solving tree i while
+/// iteration i+1 still runs. Identical randomness, identical trees in the
+/// same order, and identical ledger charges as the retaining overload — the
+/// sink is purely an output channel. The sink is invoked on the calling
+/// thread; `rng` and `ledger` are touched only between sink calls.
+[[nodiscard]] TreePacking tree_packing(const WeightedGraph& g, Rng& rng,
+                                       minoragg::Ledger& ledger, const PackingConfig& config,
+                                       const TreeSink& sink);
 
 }  // namespace umc::mincut

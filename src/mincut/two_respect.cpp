@@ -7,6 +7,7 @@
 #include "minoragg/tree_primitives.hpp"
 #include "minoragg/virtual_graph.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::mincut {
 
@@ -53,8 +54,12 @@ CutResult solve(const Instance& inst, minoragg::Ledger& parent, int depth) {
 
   // Lemma 43: private cut-equivalent branch instances H_i, each with its
   // own virtual centroid (node 0); node-disjoint, so scheduled together.
+  // Build every branch instance first (cheap remaps), then solve them as
+  // TaskGraph tasks: each writes a private slot, and the merge below runs
+  // in child order — the same absorb/charge_parallel sequence the inline
+  // path produces, so counters stay bit-identical at any width.
   const RootedTree tc(inst.graph, inst.tree_edges, c);
-  std::vector<minoragg::Ledger> kids;
+  std::vector<Instance> subs;
   for (const NodeId child : tc.children(c)) {
     // Collect the branch below `child` (including child).
     std::vector<NodeId> map(static_cast<std::size_t>(inst.graph.n()), 0);  // outside -> c_i
@@ -79,11 +84,30 @@ CutResult solve(const Instance& inst, minoragg::Ledger& parent, int depth) {
       if (mapped != kNoEdge) sub.tree_edges.push_back(mapped);
     }
     UMC_ASSERT(static_cast<NodeId>(sub.tree_edges.size()) == sub.graph.n() - 1);
-
-    minoragg::Ledger kid;
-    best.absorb(solve(sub, kid, depth + 1));
-    kids.push_back(std::move(kid));
+    subs.push_back(std::move(sub));
   }
+
+  std::vector<CutResult> branch_best(subs.size());
+  std::vector<minoragg::Ledger> kids(subs.size());
+  {
+    TaskGroup branches;
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const Instance& sub = subs[i];
+      CutResult& slot = branch_best[i];
+      minoragg::Ledger& kid = kids[i];
+      branches.spawn([&sub, &slot, &kid, depth] {
+        // TraceEvent carries at most two args: kind + pool_thread, always,
+        // so every ttr_item is attributable to a worker in Perfetto. Depth
+        // rides on the logical clock.
+        UMC_OBS_SPAN_VAR_L(obs_item, "mincut/ttr_item", "mincut", depth);
+        obs_item.arg("kind", 0);  // 0 = centroid branch
+        obs_item.arg("pool_thread", ThreadPool::current_index());
+        slot = solve(sub, kid, depth + 1);
+      });
+    }
+    branches.join();
+  }
+  for (const CutResult& r : branch_best) best.absorb(r);
   parent.charge_parallel(kids);
   return best;
 }

@@ -9,6 +9,7 @@
 // right half, so the round cost is one per recursion level = ceil(log2 n),
 // plus one initial counting round.
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -19,12 +20,16 @@
 
 namespace umc::minoragg {
 
+/// Scratch-friendly variant: writes the prefix sums into `prefix` (resized
+/// and overwritten) so hot callers can recycle one buffer across rows.
+/// Charges are identical to the allocating overload by construction — it is
+/// the same computation on a caller-owned output.
 template <Aggregator A>
-std::vector<typename A::value_type> path_prefix_sums(
-    std::span<const typename A::value_type> values, Ledger& ledger) {
+void path_prefix_sums_into(std::span<const typename A::value_type> values, Ledger& ledger,
+                           std::vector<typename A::value_type>& prefix) {
   using V = typename A::value_type;
   const std::size_t n = values.size();
-  std::vector<V> prefix(values.begin(), values.end());
+  prefix.assign(values.begin(), values.end());
   ledger.charge(1);  // every node learns n (contract-all + sum consensus)
   // Bottom-up halving: blocks of size `len` merge pairwise; level cost is
   // one round (all merges are node-disjoint).
@@ -36,6 +41,13 @@ std::vector<typename A::value_type> path_prefix_sums(
     }
     ledger.charge(1);
   }
+}
+
+template <Aggregator A>
+std::vector<typename A::value_type> path_prefix_sums(
+    std::span<const typename A::value_type> values, Ledger& ledger) {
+  std::vector<typename A::value_type> prefix;
+  path_prefix_sums_into<A>(values, ledger, prefix);
   return prefix;
 }
 
@@ -93,13 +105,25 @@ std::vector<typename A::value_type> literal_path_prefix_sums(
   return prefix;
 }
 
+/// Scratch-friendly suffix sums: `rev` is caller-owned reversal scratch and
+/// `suffix` receives the result. Same charges as the allocating overload.
+template <Aggregator A>
+void path_suffix_sums_into(std::span<const typename A::value_type> values, Ledger& ledger,
+                           std::vector<typename A::value_type>& rev,
+                           std::vector<typename A::value_type>& suffix) {
+  using V = typename A::value_type;
+  rev.assign(values.rbegin(), values.rend());
+  path_prefix_sums_into<A>(std::span<const V>(rev), ledger, suffix);
+  std::reverse(suffix.begin(), suffix.end());
+}
+
 template <Aggregator A>
 std::vector<typename A::value_type> path_suffix_sums(
     std::span<const typename A::value_type> values, Ledger& ledger) {
   using V = typename A::value_type;
-  std::vector<V> rev(values.rbegin(), values.rend());
-  std::vector<V> pre = path_prefix_sums<A>(std::span<const V>(rev), ledger);
-  return std::vector<V>(pre.rbegin(), pre.rend());
+  std::vector<V> rev, suffix;
+  path_suffix_sums_into<A>(values, ledger, rev, suffix);
+  return suffix;
 }
 
 }  // namespace umc::minoragg

@@ -6,6 +6,7 @@
 #include "minoragg/star_merge.hpp"
 #include "tree/centroid.hpp"
 #include "util/math.hpp"
+#include "util/scratch.hpp"
 
 namespace umc::minoragg {
 
@@ -42,11 +43,19 @@ HeavyLightDecomposition hl_construct(const RootedTree& t, Ledger& ledger) {
   Dsu parts(n);
   const std::int64_t lemma46_cost =
       2 * (static_cast<std::int64_t>(ceil_log2(static_cast<std::uint64_t>(n) + 1)) + 2);
+  // Merge-loop scratch: these tables are rebuilt every iteration (this loop
+  // dominates the solve's allocation count), so lease them once per call
+  // and let assign() recycle the capacity.
+  ScratchLease<std::vector<NodeId>> rep_of_s, part_rep_s, top_s;
+  ScratchLease<std::vector<int>> out_s;
+  std::vector<NodeId>& rep_of = *rep_of_s;
+  std::vector<NodeId>& part_rep = *part_rep_s;
+  std::vector<NodeId>& top = *top_s;
+  std::vector<int>& out = *out_s;
   while (parts.num_components() > 1) {
     // Build the parts graph: part -> parent part (via the part's top node).
-    std::vector<NodeId> rep_of(static_cast<std::size_t>(n), kNoNode);
-    std::vector<int> part_index;  // dense part ids
-    std::vector<NodeId> part_rep;
+    rep_of.assign(static_cast<std::size_t>(n), kNoNode);
+    part_rep.clear();
     for (NodeId v = 0; v < n; ++v) {
       const NodeId r = parts.find(v);
       if (rep_of[static_cast<std::size_t>(r)] == kNoNode) {
@@ -55,11 +64,11 @@ HeavyLightDecomposition hl_construct(const RootedTree& t, Ledger& ledger) {
       }
     }
     const std::size_t k = part_rep.size();
-    std::vector<int> out(k, -1);
+    out.assign(k, -1);
     // The part's top node is its minimum-depth node; its parent edge leaves
     // the part. Compute tops by scanning (model: one subtree-sum round,
     // charged inside lemma46_cost below).
-    std::vector<NodeId> top(k, kNoNode);
+    top.assign(k, kNoNode);
     for (NodeId v = 0; v < n; ++v) {
       const std::size_t p = static_cast<std::size_t>(rep_of[static_cast<std::size_t>(parts.find(v))]);
       if (top[p] == kNoNode || t.depth(v) < t.depth(top[p])) top[p] = v;
@@ -110,7 +119,12 @@ RootedTree orient_tree(const WeightedGraph& g, std::span<const EdgeId> tree_edge
   const NodeId n = g.n();
   UMC_ASSERT(root >= 0 && root < n);
   // Adjacency restricted to tree edges, for the part graph's edge marking.
-  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(static_cast<std::size_t>(n));
+  // Leased: the outer vector only grows, inner vectors keep their capacity
+  // across calls (only the first n entries are cleared and used).
+  ScratchLease<std::vector<std::vector<std::pair<NodeId, EdgeId>>>> adj_s;
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>>& adj = *adj_s;
+  if (adj.size() < static_cast<std::size_t>(n)) adj.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) adj[static_cast<std::size_t>(v)].clear();
   for (const EdgeId e : tree_edges) {
     adj[static_cast<std::size_t>(g.edge(e).u)].emplace_back(g.edge(e).v, e);
     adj[static_cast<std::size_t>(g.edge(e).v)].emplace_back(g.edge(e).u, e);
@@ -119,10 +133,17 @@ RootedTree orient_tree(const WeightedGraph& g, std::span<const EdgeId> tree_edge
   Dsu parts(n);
   const std::int64_t fix_cost =
       2 * (static_cast<std::int64_t>(ceil_log2(static_cast<std::uint64_t>(n) + 1)) + 2);
+  // Same merge-loop scratch pattern as hl_construct above.
+  ScratchLease<std::vector<NodeId>> rep_of_s, part_rep_s, via_s;
+  ScratchLease<std::vector<int>> out_s;
+  std::vector<NodeId>& rep_of = *rep_of_s;
+  std::vector<NodeId>& part_rep = *part_rep_s;
+  std::vector<NodeId>& via = *via_s;
+  std::vector<int>& out = *out_s;
   while (parts.num_components() > 1) {
     // Dense part ids.
-    std::vector<NodeId> rep_of(static_cast<std::size_t>(n), kNoNode);
-    std::vector<NodeId> part_rep;
+    rep_of.assign(static_cast<std::size_t>(n), kNoNode);
+    part_rep.clear();
     for (NodeId v = 0; v < n; ++v) {
       const NodeId r = parts.find(v);
       if (rep_of[static_cast<std::size_t>(r)] == kNoNode) {
@@ -134,8 +155,8 @@ RootedTree orient_tree(const WeightedGraph& g, std::span<const EdgeId> tree_edge
     // Each non-root part marks an ARBITRARY adjacent outgoing tree edge
     // (the smallest-id one — deterministic); the root part marks none.
     // Mutual marks create 2-cycles in the parts graph, which is fine.
-    std::vector<int> out(k, -1);
-    std::vector<NodeId> via(k, kNoNode);  // the neighbor node across the mark
+    out.assign(k, -1);
+    via.assign(k, kNoNode);  // the neighbor node across the mark
     const NodeId root_part = rep_of[static_cast<std::size_t>(parts.find(root))];
     for (NodeId v = 0; v < n; ++v) {
       const std::size_t p =

@@ -1,0 +1,71 @@
+#pragma once
+
+// Per-thread arena scratch: reusable heap buffers for hot solver loops.
+//
+// The two-respecting solve allocates the same shapes over and over — part
+// tables in every HL/orientation merge iteration (hundreds of thousands per
+// solve), label/suffix rows in every Cov computation, contraction bitmaps in
+// every star configuration. A ScratchLease<T> checks a T out of a
+// thread-local free list (constructing one only on a cold pool) and returns
+// it on destruction, so the steady state does zero allocation and reuses
+// whatever capacity earlier leases grew.
+//
+// Ownership rules (docs/PARALLELISM.md):
+//   * A lease is owned by the scope that constructed it — never stored,
+//     never shared across tasks. Nested leases of the same T are fine: each
+//     checkout pops a distinct object (help-first joins, where a blocked
+//     task runs another task on the same thread, therefore compose safely).
+//   * Content is UNSPECIFIED at checkout: the previous user's data is still
+//     there. Callers must assign()/clear() before reading — which is
+//     exactly what lets vectors keep their capacity.
+//   * TaskGraph tasks run start-to-finish on one thread, so a lease always
+//     returns to the pool it came from; even a hypothetical cross-thread
+//     destruction would only migrate capacity, never race (pools are
+//     thread_local, and leases hold exclusive ownership while checked out).
+//
+// This is the call-scoped sibling of round_engine's per-engine ScratchArena
+// (typed slots keyed by an engine instance); use ScratchLease where there is
+// no long-lived engine object to hang an arena off.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace umc {
+
+namespace detail {
+template <typename T>
+std::vector<std::unique_ptr<T>>& scratch_pool() {
+  thread_local std::vector<std::unique_ptr<T>> pool;
+  return pool;
+}
+}  // namespace detail
+
+template <typename T>
+class ScratchLease {
+ public:
+  ScratchLease() {
+    auto& pool = detail::scratch_pool<T>();
+    if (pool.empty()) {
+      obj_ = std::make_unique<T>();
+    } else {
+      obj_ = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+
+  ~ScratchLease() {
+    if (obj_ != nullptr) detail::scratch_pool<T>().push_back(std::move(obj_));
+  }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  T& operator*() { return *obj_; }
+  T* operator->() { return obj_.get(); }
+
+ private:
+  std::unique_ptr<T> obj_;
+};
+
+}  // namespace umc

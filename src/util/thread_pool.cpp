@@ -1,7 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <cstdlib>
+#include <exception>
 #include <string>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -138,6 +140,163 @@ void ThreadPool::run(std::size_t count, int width,
     done_cv_.wait(lock, [&] { return remaining_ == 0; });
     job_ = nullptr;
     allowed_workers_ = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraph sessions.
+
+struct TaskSessionTask {
+  std::function<void()> fn;
+  TaskGroup* group = nullptr;  // null for the session root
+  bool claimed = false;
+};
+
+struct TaskSession {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<TaskSessionTask> tasks;       // stable addresses; never shrunk
+  std::deque<TaskSessionTask*> run_queue;  // unclaimed tasks, spawn order
+  std::size_t unfinished = 0;              // queued or running tasks
+  std::int64_t spawned = 0;
+  std::int64_t helped = 0;
+  std::exception_ptr error;  // first task exception; rethrown by session()
+
+  /// Pops queue entries until an unclaimed task is found and claims it.
+  /// Caller holds mu. Claimed entries linger in the OTHER queue that also
+  /// references them; they are skipped lazily there.
+  TaskSessionTask* claim_locked(std::deque<TaskSessionTask*>& queue) {
+    while (!queue.empty()) {
+      TaskSessionTask* t = queue.front();
+      queue.pop_front();
+      if (!t->claimed) {
+        t->claimed = true;
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Runs a claimed task (caller must NOT hold mu) and records completion.
+  /// Task exceptions are captured — the session must keep draining so that
+  /// joins elsewhere cannot hang on a task that will never finish.
+  void execute(TaskSessionTask* t) {
+    try {
+      t->fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      t->fn = nullptr;  // release the closure's captures eagerly
+      if (t->group != nullptr) --t->group->outstanding_;
+      --unfinished;
+    }
+    cv.notify_all();
+  }
+};
+
+namespace {
+thread_local TaskSession* tls_task_session = nullptr;
+
+/// One session-worker pool job: claim-and-execute until the session drains.
+/// All width jobs run this same loop; the session opener is one of them.
+void session_worker(TaskSession& s) {
+  ThreadPool::SequentialScope sequential;  // inner run() calls degrade inline
+  TaskSession* const prev = tls_task_session;
+  tls_task_session = &s;
+  for (;;) {
+    TaskSessionTask* t = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      for (;;) {
+        t = s.claim_locked(s.run_queue);
+        if (t != nullptr) break;
+        if (s.unfinished == 0) {
+          tls_task_session = prev;
+          return;
+        }
+        s.cv.wait(lock);
+      }
+    }
+    s.execute(t);
+  }
+}
+}  // namespace
+
+TaskGraph::Stats TaskGraph::session(int width, const std::function<void()>& root) {
+  Stats stats;
+  stats.width = width < 1 ? 1 : width;
+  if (stats.width == 1 || tls_sequential_depth > 0 || tls_in_pool_job ||
+      tls_task_session != nullptr) {
+    // Inline degradation: TaskGroups constructed inside root() see no
+    // session and run every spawn immediately — the sequential reference.
+    stats.width = 1;
+    root();
+    return stats;
+  }
+  TaskSession s;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.tasks.push_back(TaskSessionTask{root, nullptr, false});
+    s.run_queue.push_back(&s.tasks.back());
+    s.unfinished = 1;
+  }
+  ThreadPool::global().run(static_cast<std::size_t>(stats.width), stats.width,
+                           [&s](std::size_t) { session_worker(s); });
+  stats.spawned = s.spawned;
+  stats.helped = s.helped;
+  if (s.error) std::rethrow_exception(s.error);
+  return stats;
+}
+
+bool TaskGraph::in_session() { return tls_task_session != nullptr; }
+
+TaskGroup::TaskGroup() : session_(tls_task_session) {}
+
+TaskGroup::~TaskGroup() {
+  UMC_ASSERT_MSG(outstanding_ == 0, "TaskGroup destroyed with unjoined tasks");
+}
+
+void TaskGroup::spawn(std::function<void()> fn) {
+  if (session_ == nullptr) {
+    fn();  // no session: the spawn IS the sequential execution
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(session_->mu);
+    session_->tasks.push_back(TaskSessionTask{std::move(fn), this, false});
+    TaskSessionTask* t = &session_->tasks.back();
+    session_->run_queue.push_back(t);
+    local_queue_.push_back(t);
+    ++outstanding_;
+    ++session_->unfinished;
+    ++session_->spawned;
+  }
+  session_->cv.notify_one();
+}
+
+void TaskGroup::join() {
+  if (session_ == nullptr) return;  // inline spawns already ran
+  TaskSession& s = *session_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  while (outstanding_ > 0) {
+    // Own tasks first (keeps the help stack at plain recursion depth),
+    // then help any other queued task, and only then block — at that point
+    // every remaining task of this group is running on another thread.
+    TaskSessionTask* t = s.claim_locked(local_queue_);
+    if (t == nullptr) {
+      t = s.claim_locked(s.run_queue);
+      if (t != nullptr) ++s.helped;
+    }
+    if (t == nullptr) {
+      s.cv.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    s.execute(t);
+    lock.lock();
   }
 }
 

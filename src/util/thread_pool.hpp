@@ -19,12 +19,16 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace umc {
+
+struct TaskSession;       // scheduler state of one TaskGraph session (in .cpp)
+struct TaskSessionTask;   // one queued task
 
 class ThreadPool {
  public:
@@ -71,6 +75,8 @@ class ThreadPool {
   /// workers. Observability only — do not branch algorithm logic on it.
   [[nodiscard]] static int current_index();
 
+  friend class TaskGraph;
+
  private:
   void ensure_workers(int want);
   void worker_loop(int id);
@@ -94,6 +100,93 @@ class ThreadPool {
   std::size_t total_ = 0;      // indices in this generation
   std::size_t remaining_ = 0;  // invocations not yet finished
   int allowed_workers_ = 0;    // workers with id < allowed participate
+};
+
+// ---------------------------------------------------------------------------
+// Dynamic fork-join task sessions on the shared pool.
+//
+// run() executes a FIXED index space; the min-cut solve needs the opposite:
+// work discovered while working (trees emitted by the packing producer,
+// star/path-to-path items discovered inside each tree's solve). A TaskGraph
+// session is a region in which tasks may be spawned into TaskGroups and are
+// executed by up to `width` threads (the opening thread participates, via
+// one pool generation of `width` session-worker jobs).
+//
+// Scheduling is a chunked-claim FIFO: spawned tasks enter one session-wide
+// queue, and any session thread without work claims the oldest unclaimed
+// task under the session lock (tasks are coarse — a star solve, a tree
+// solve — so the lock is never hot). Joins are help-first: a thread waiting
+// on a TaskGroup first executes that group's still-queued tasks (which
+// keeps help stacks as shallow as plain recursion), then any other queued
+// task, and only blocks when every remaining task of its group is already
+// running on another thread.
+//
+// Determinism is the same contract as run(): which thread executes a task
+// is nondeterministic, so tasks must write to disjoint result slots and the
+// joiner must merge slots in a fixed (spawn-index) order. Under that
+// discipline outputs — including every Ledger counter — are bit-identical
+// at any width; docs/PARALLELISM.md states the argument for the min-cut
+// task graph.
+//
+// Session workers run under a SequentialScope, so width-parallel library
+// code called from a task (tree primitives, round-engine folds) degrades to
+// its inline loop instead of deadlocking on the pool.
+//
+// Degradation to plain inline execution (spawn == direct call, join ==
+// no-op) happens when width <= 1, when the caller is already inside a pool
+// job or SequentialScope, or when a session is already active on this
+// thread; TaskGroups constructed outside any session likewise run their
+// spawns inline. Inline execution IS the sequential reference order, so
+// the width-1 ledger is by construction the sequential one.
+//
+// A task that throws: the first exception is captured, the session drains
+// (remaining tasks still run), and session() rethrows it on the opening
+// thread — matching the sequential behavior seen by exact_mincut_guarded.
+
+class TaskGroup;
+
+class TaskGraph {
+ public:
+  struct Stats {
+    std::int64_t spawned = 0;  // tasks queued through TaskGroup::spawn
+    std::int64_t helped = 0;   // tasks claimed by a join from ANOTHER group's queue
+    int width = 1;             // session width after degradation rules
+  };
+
+  /// Runs root() plus every task transitively spawned into TaskGroups
+  /// created inside it, on up to `width` threads; returns when all tasks
+  /// finished. See the degradation rules above.
+  static Stats session(int width, const std::function<void()>& root);
+
+  /// True while the calling thread executes inside a (non-degraded)
+  /// session. Observability only.
+  [[nodiscard]] static bool in_session();
+};
+
+/// A fork-join handle: spawn N tasks, join, then merge their slots in spawn
+/// order. Owned by exactly one task (or the session root); spawn/join must
+/// be called from the owning thread only, and the group must be joined
+/// before destruction (asserted).
+class TaskGroup {
+ public:
+  TaskGroup();
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Queues `fn` for execution by the session (runs it inline immediately
+  /// when no session is active — the sequential reference order).
+  void spawn(std::function<void()> fn);
+
+  /// Executes/helps until every task spawned into this group has finished.
+  /// Reusable: spawn/join cycles are allowed.
+  void join();
+
+ private:
+  friend struct TaskSession;
+  TaskSession* session_;                       // null => inline mode
+  std::size_t outstanding_ = 0;                // spawned, not yet finished
+  std::deque<TaskSessionTask*> local_queue_;   // this group's unclaimed tasks
 };
 
 }  // namespace umc
