@@ -4,11 +4,14 @@
 //
 //   --json    after the normal console run, write BENCH_<name>.json next to
 //             the working directory, where <name> is the executable's stem
-//             minus the "bench_" prefix. Schema (version 1):
+//             minus the "bench_" prefix. Schema (version 2; v2 added
+//             "git_sha" — see docs/BENCHMARKS.md for the version history):
 //
 //               { "bench": "<name>",
-//                 "schema_version": 1,
+//                 "schema_version": 2,
 //                 "build_preset": "default" | "tsan" | "asan" | "ubsan",
+//                 "git_sha": configure-time `git rev-parse --short=12 HEAD`
+//                            ("unknown" outside a git checkout),
 //                 "umc_threads": value of UMC_THREADS ("" when unset),
 //                 "runs": [ { "id":    full benchmark id,
 //                             "name":  family name (id up to the first '/'),
@@ -91,10 +94,16 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
 #else
     const char* preset = "unknown";
 #endif
+#ifdef UMC_GIT_SHA
+    const char* git_sha = UMC_GIT_SHA;
+#else
+    const char* git_sha = "unknown";
+#endif
     const char* threads_env = std::getenv("UMC_THREADS");
     os << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
-       << "  \"schema_version\": 1,\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"build_preset\": \"" << json_escape(preset) << "\",\n"
+       << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n"
        << "  \"umc_threads\": \"" << json_escape(threads_env == nullptr ? "" : threads_env)
        << "\",\n  \"runs\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {

@@ -3,10 +3,20 @@
 // Reports the number of trees (Θ(log^2 n) after sampling), whether the
 // Karger-sampling route was taken, and — the theorem's whp guarantee — the
 // fraction of seeds for which some tree 2-respects the true min-cut.
+//
+// Experiment E23 (perf): the packing-producer fast path. BM_TreePackingSeed
+// pins the pre-change Minor-Aggregation-simulated producer (use_fast_path
+// off); BM_TreePackingThreads runs the BoruvkaPacker fast path at widths
+// 1/2/4/8. All variants export the same gated counters — num_trees,
+// ma_rounds, and a checksum over every tree's edge list — which CI diffs
+// against the committed baseline: the fast path and every width must
+// reproduce the seed producer's numbers exactly, only wall/cpu time may
+// move.
 
 #include "baseline/stoer_wagner.hpp"
 #include "bench_common.hpp"
 #include "mincut/tree_packing.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc {
 namespace {
@@ -65,6 +75,76 @@ void BM_PackingDense(benchmark::State& state) {
 
 BENCHMARK(BM_PackingSparse)->Arg(32)->Arg(64)->Arg(128)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PackingDense)->Arg(16)->Arg(24)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// E23: producer fast path vs the simulated seed producer, and width scaling.
+
+/// One full packing of the E23 workload; the cache is disabled so every run
+/// measures the producer, and the session width is explicit so the sweep is
+/// reproducible regardless of the UMC_THREADS knob. The config forces the
+/// direct greedy route (case A) on a lambda=136 graph, capped at 512 MST
+/// iterations: the measurement is the packing phase itself, not the
+/// lambda-seed/sampling setup both producers share.
+void run_packing_producer(benchmark::State& state, bool fast_path, int threads) {
+  const WeightedGraph g = benchutil::weighted_er(96, 8.0, 21);
+  std::uint64_t h = 0;
+  std::int64_t trees = 0, rounds = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    minoragg::Ledger ledger;
+    mincut::PackingConfig config;
+    config.use_fast_path = fast_path;
+    config.use_cache = false;
+    config.direct_threshold_c = 1e9;  // force case A: pure greedy packing
+    config.max_trees = 512;
+    // chunk_min_edges stays at its production default: at m=386 the fold is
+    // a single inline chunk (spawning ~100-edge tasks costs more than the
+    // scan). The width column therefore gates counter equality, not wall
+    // scaling; the chunk-parallel fold path is pinned by
+    // test_tree_packing_threads8 at a forced small grain.
+    h = 0x756d635f45323362ULL;  // "umc_E23b"
+    trees = 0;
+    TaskGraph::session(threads, [&] {
+      (void)mincut::tree_packing(g, rng, ledger, config,
+                                 [&h, &trees](std::vector<EdgeId> tree) {
+                                   for (const EdgeId e : tree)
+                                     h = mix64(h ^ static_cast<std::uint64_t>(e));
+                                   ++trees;
+                                 });
+    });
+    rounds = ledger.rounds();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["n"] = g.n();
+  state.counters["num_trees"] = static_cast<double>(trees);
+  state.counters["ma_rounds"] = static_cast<double>(rounds);
+  // Gated: the fast path at every width must reproduce the seed producer's
+  // trees bit-for-bit (folded to stay exactly representable in a double).
+  state.counters["checksum"] = static_cast<double>(h % (1u << 30));
+}
+
+/// The pre-change reference: full Minor-Aggregation simulation per Borůvka
+/// phase, all m edges re-costed per iteration. The ≥2x fast-path claim in
+/// EXPERIMENTS.md E23 is this run vs BM_TreePackingThreads/1.
+void BM_TreePackingSeed(benchmark::State& state) {
+  run_packing_producer(state, /*fast_path=*/false, /*threads=*/1);
+}
+
+/// The BoruvkaPacker fast path at an explicit session width: chunk-parallel
+/// candidate folds + incremental re-costing. Counters must match /1 exactly
+/// at every width — only wall/cpu time may change.
+void BM_TreePackingThreads(benchmark::State& state) {
+  run_packing_producer(state, /*fast_path=*/true, static_cast<int>(state.range(0)));
+}
+
+BENCHMARK(BM_TreePackingSeed)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreePackingThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace umc

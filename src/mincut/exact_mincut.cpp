@@ -66,15 +66,20 @@ ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledge
   // Every min-cut 2-respects some tree of the packing (whp); orient each
   // (unrooted) packing tree (Theorem 48), then solve the deterministic
   // 2-respecting problem and keep the best. Packing and solving are
-  // pipelined through a TaskGraph session: the session root runs the
-  // packing producer, and every tree it emits immediately becomes a solve
-  // task — tree 0 starts solving while Borůvka iteration 1 still runs,
-  // instead of waiting behind the full-packing barrier. Each solve gets a
-  // private Ledger and a disjoint result slot (deque elements have stable
-  // addresses, so the closures bind references taken before spawn), and
-  // everything merges below in tree-index order — cut value, winning-tree
-  // choice, and charged rounds are bit-identical at any thread width.
-  // `ledger` and `rng` are touched only by the producer during the session.
+  // pipelined through ONE TaskGraph session sharing the pool: the session
+  // root runs the packing producer — whose per-phase Borůvka candidate
+  // folds themselves spawn as chunk tasks (see BoruvkaPacker), so packing
+  // iterations parallelize on the same workers — and every tree it emits
+  // immediately becomes a solve task: tree 0 starts solving while Borůvka
+  // iteration 1 still runs, instead of waiting behind the full-packing
+  // barrier. Each solve gets a private Ledger and a disjoint result slot
+  // (deque elements have stable addresses, so the closures bind references
+  // taken before spawn), and everything merges below in tree-index order —
+  // cut value, winning-tree choice, and charged rounds are bit-identical at
+  // any thread width. `ledger` and `rng` are touched only by the producer
+  // during the session. The producer also records the packing into the
+  // PackingCache, which the guarded self-check's same-seed replay hits
+  // instead of repacking (see run_guards).
   std::deque<std::vector<EdgeId>> trees;
   std::deque<CutResult> results;
   std::deque<minoragg::Ledger> tree_ledgers;
@@ -141,7 +146,10 @@ namespace {
 
 /// Runs the guard battery against `primary`; appends one line per failure.
 /// Replays the packing from `seed` — the pipeline's randomness is only in
-/// the packing, so a same-seed replay must reproduce the winning tree.
+/// the packing, so a same-seed replay must reproduce the winning tree. The
+/// replay shares the primary solve's key (same graph, same entry rng state,
+/// same config), so it is a PackingCache hit: the recorded trees stream
+/// back at output cost instead of re-running the packing iterations.
 void run_guards(const WeightedGraph& g, std::uint64_t seed, const GuardConfig& config,
                 const ExactMinCutResult& primary, std::vector<std::string>& failures) {
   if (g.n() == 2) {

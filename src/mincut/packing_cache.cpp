@@ -1,0 +1,85 @@
+#include "mincut/packing_cache.hpp"
+
+#include <utility>
+
+#include "util/math.hpp"
+
+namespace umc::mincut {
+
+PackingCache& PackingCache::global() {
+  static PackingCache cache;
+  return cache;
+}
+
+std::shared_ptr<const PackingEntry> PackingCache::lookup(const PackingKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PackingCache::insert(const PackingKey& key, std::shared_ptr<const PackingEntry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_.emplace(key, lru_.begin());
+  evict_locked();
+}
+
+void PackingCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+void PackingCache::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap;
+  evict_locked();
+}
+
+std::size_t PackingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::int64_t PackingCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t PackingCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void PackingCache::evict_locked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t graph_fingerprint(const WeightedGraph& g) {
+  // Sequentially chained mix64 over (n, m, u, v, w) — order-sensitive, so
+  // edge-id renumbering (which changes packing output) changes the key too.
+  std::uint64_t h = 0x756d635f7061636bULL;  // "umc_pack"
+  h = mix64(h ^ static_cast<std::uint64_t>(g.n()));
+  h = mix64(h ^ static_cast<std::uint64_t>(g.m()));
+  for (const Edge& e : g.edges()) {
+    h = mix64(h ^ static_cast<std::uint64_t>(e.u));
+    h = mix64(h ^ static_cast<std::uint64_t>(e.v));
+    h = mix64(h ^ static_cast<std::uint64_t>(e.w));
+  }
+  return h;
+}
+
+}  // namespace umc::mincut

@@ -1,17 +1,45 @@
 #include "mincut/tree_packing.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <memory>
 
 #include "baseline/stoer_wagner.hpp"
 #include "graph/properties.hpp"
+#include "mincut/packing_cache.hpp"
 #include "minoragg/boruvka.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tree/spanning.hpp"
 #include "util/math.hpp"
+#include "util/scratch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc::mincut {
 
 namespace {
+
+#if !defined(UMC_OBS_DISABLED)
+struct PackingMetrics {
+  obs::Counter& resort_edges = obs::MetricsRegistry::global().counter(
+      "umc_packing_resort_edges_total", {},
+      "Edges re-costed by the packing producer. The fast path repairs only "
+      "the <= n-1 edges whose load changed since the previous iteration; "
+      "the reference recomputes all m every iteration.");
+  obs::Counter& cache_hits = obs::MetricsRegistry::global().counter(
+      "umc_packing_cache_hits_total", {},
+      "tree_packing calls served by replaying a PackingCache entry.");
+  obs::Counter& cache_misses = obs::MetricsRegistry::global().counter(
+      "umc_packing_cache_misses_total", {},
+      "tree_packing calls that computed a packing (cache off counts too).");
+};
+
+PackingMetrics& packing_metrics() {
+  static PackingMetrics m;
+  return m;
+}
+#endif
 
 /// Binomial(w, p) sample: exact Bernoulli loop for small w, normal
 /// approximation (clamped) for large w.
@@ -37,50 +65,105 @@ Weight binomial_sample(Weight w, double p, Rng& rng) {
 /// the cost of an edge is its packing load normalized by multiplicity. Each
 /// finished tree is handed to `emit` — in streaming mode that pipelines it
 /// straight into a solve task; in retaining mode the caller just collects.
+///
+/// Two producers, one contract. The reference (`fast == false`) drives a
+/// full Minor-Aggregation simulation per Borůvka phase and recomputes all m
+/// costs per iteration. The fast path selects the same (cost, edge id)-
+/// minimal trees through the reusable BoruvkaPacker — per-phase candidate
+/// folds run chunk-parallel on the ambient TaskGraph session — and between
+/// iterations repairs only the <= n-1 costs whose load changed. Both paths
+/// charge the ledger identically: one Definition 9 round per phase, one
+/// termination-check round, one boruvka_iterations bump per phase (the fast
+/// path replays those charges from its own — provably equal — phase count).
 void greedy_pack(const WeightedGraph& g, std::span<const Weight> multiplicity, int iterations,
-                 minoragg::Ledger& ledger, const TreeSink& emit) {
-  std::vector<std::int64_t> load(static_cast<std::size_t>(g.m()), 0);
-  std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()), 0);
-  for (int it = 0; it < iterations; ++it) {
-    // cost = load / multiplicity, in fixed point (2^20) so Borůvka can use
-    // integer keys; ties broken by edge id inside Borůvka.
-    for (EdgeId e = 0; e < g.m(); ++e) {
-      cost[static_cast<std::size_t>(e)] =
-          (load[static_cast<std::size_t>(e)] << 20) / multiplicity[static_cast<std::size_t>(e)];
+                 minoragg::Ledger& ledger, const PackingConfig& config, const TreeSink& emit) {
+  const auto m = static_cast<std::size_t>(g.m());
+  if (!config.use_fast_path) {
+    std::vector<std::int64_t> load(m, 0);
+    std::vector<std::int64_t> cost(m, 0);
+    for (int it = 0; it < iterations; ++it) {
+      // cost = load / multiplicity, in fixed point (2^20) so Borůvka can use
+      // integer keys; ties broken by edge id inside Borůvka.
+      for (EdgeId e = 0; e < g.m(); ++e) {
+        cost[static_cast<std::size_t>(e)] =
+            (load[static_cast<std::size_t>(e)] << 20) / multiplicity[static_cast<std::size_t>(e)];
+      }
+#if !defined(UMC_OBS_DISABLED)
+      packing_metrics().resort_edges.inc(static_cast<std::int64_t>(m));
+#endif
+      std::vector<EdgeId> tree = minoragg::boruvka_mst(g, cost, ledger);
+      for (const EdgeId e : tree) ++load[static_cast<std::size_t>(e)];
+      ledger.bump("packing_iterations");
+      emit(std::move(tree));
     }
-    std::vector<EdgeId> tree = minoragg::boruvka_mst(g, cost, ledger);
-    for (const EdgeId e : tree) ++load[static_cast<std::size_t>(e)];
+    return;
+  }
+
+  // Fast path. All scratch lives on thread-local arenas: the packer's DSU,
+  // worklists, and chunk slots, plus the load/cost rows here, are checked
+  // out once per call and keep their capacity across packing sessions, so
+  // steady-state iterations allocate only the emitted tree itself.
+  ScratchLease<BoruvkaPacker> packer;
+  packer->set_min_chunk_edges(static_cast<std::size_t>(std::max(config.chunk_min_edges, 1)));
+  ScratchLease<std::vector<std::int64_t>> load_lease;
+  ScratchLease<std::vector<std::int64_t>> cost_lease;
+  std::vector<std::int64_t>& load = *load_lease;
+  std::vector<std::int64_t>& cost = *cost_lease;
+  load.assign(m, 0);
+  cost.assign(m, 0);  // load 0 => cost 0 for every multiplicity: the full
+                      // initial re-cost, done once instead of per iteration
+#if !defined(UMC_OBS_DISABLED)
+  packing_metrics().resort_edges.inc(static_cast<std::int64_t>(m));
+#endif
+  for (int it = 0; it < iterations; ++it) {
+    UMC_OBS_SPAN_VAR_L(obs_iter, "mincut/packing_iter", "mincut", it);
+    obs_iter.arg("pool_thread", ThreadPool::current_index());
+    const BoruvkaPacker::Result r = packer->run(g, cost);
+    // Replay the Minor-Aggregation producer's charges from the (identical)
+    // phase structure: one round per selection phase, one final round that
+    // observes the single supernode, one iteration bump per phase.
+    ledger.charge(r.phases + 1);
+    ledger.bump("boruvka_iterations", r.phases);
+    std::vector<EdgeId> tree(r.tree.begin(), r.tree.end());
+    // Incremental re-costing: only the tree's n-1 edges changed load.
+    for (const EdgeId e : tree) {
+      const auto i = static_cast<std::size_t>(e);
+      ++load[i];
+      cost[i] = (load[i] << 20) / multiplicity[i];
+    }
+#if !defined(UMC_OBS_DISABLED)
+    packing_metrics().resort_edges.inc(static_cast<std::int64_t>(tree.size()));
+#endif
     ledger.bump("packing_iterations");
     emit(std::move(tree));
   }
 }
 
-}  // namespace
-
-TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
-                         const PackingConfig& config) {
-  TreePacking out;
-  TreePacking meta = tree_packing(g, rng, ledger, config,
-                                  [&out](std::vector<EdgeId> tree) {
-                                    out.trees.push_back(std::move(tree));
-                                  });
-  out.lambda_seed = meta.lambda_seed;
-  out.sampled = meta.sampled;
-  return out;
+/// Folds every config field the producer branches on into the cache key.
+/// chunk_min_edges is deliberately absent: chunk granularity cannot change
+/// any output, so packings computed at different granularities are
+/// interchangeable (see PackingConfig).
+std::uint64_t config_fingerprint(const PackingConfig& config) {
+  std::uint64_t h = 0x7061636b636667ULL;  // "packcfg"
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(config.sample_c));
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(config.direct_threshold_c));
+  h = mix64(h ^ static_cast<std::uint64_t>(config.max_trees));
+  h = mix64(h ^ (config.use_fast_path ? 1ULL : 0ULL));
+  return h;
 }
 
-TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
-                         const PackingConfig& config, const TreeSink& sink) {
-  UMC_ASSERT(g.n() >= 2);
-  UMC_OBS_SPAN_VAR_L(obs_pack, "mincut/tree_packing", "mincut", ledger.rounds());
-  obs_pack.arg("n", g.n());
+/// The producer proper: packs into `pack_ledger` (all packing charges are
+/// additive, so a single sequential absorption by the caller is
+/// bit-identical to direct charging) and emits through `sink`.
+TreePacking pack_uncached(const WeightedGraph& g, Rng& rng, minoragg::Ledger& pack_ledger,
+                          const PackingConfig& config, const TreeSink& sink) {
   TreePacking out;
 
   // Seed lambda (substitution for the [17] approx black box; see header).
   out.lambda_seed = baseline::stoer_wagner(g).value;
   const std::int64_t logn = ceil_log2(static_cast<std::uint64_t>(g.n()) + 1) + 1;
   const std::int64_t logm = ceil_log2(static_cast<std::uint64_t>(g.m()) + 2) + 1;
-  ledger.charge(logn * logn);  // the approx-min-cut's polylog round budget
+  pack_ledger.charge(logn * logn);  // the approx-min-cut's polylog round budget
 
   const auto cap = [&config](std::int64_t iters) {
     iters = std::max<std::int64_t>(iters, 1);
@@ -93,7 +176,7 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     // Case (A): lambda = O(log n) — direct greedy packing.
     std::vector<Weight> multiplicity(static_cast<std::size_t>(g.m()));
     for (EdgeId e = 0; e < g.m(); ++e) multiplicity[static_cast<std::size_t>(e)] = g.edge(e).w;
-    greedy_pack(g, multiplicity, cap(2 * out.lambda_seed * logm), ledger, sink);
+    greedy_pack(g, multiplicity, cap(2 * out.lambda_seed * logm), pack_ledger, config, sink);
     return out;
   }
 
@@ -124,13 +207,79 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     sample_mult.reserve(present.size());
     for (const EdgeId e : present) sample_mult.push_back(multiplicity[static_cast<std::size_t>(e)]);
     // Map each tree back to original edge ids before it leaves the packer.
-    greedy_pack(sample, sample_mult, cap(2 * lambda_sample * logm), ledger,
+    greedy_pack(sample, sample_mult, cap(2 * lambda_sample * logm), pack_ledger, config,
                 [&present, &sink](std::vector<EdgeId> tree) {
                   for (EdgeId& e : tree) e = present[static_cast<std::size_t>(e)];
                   sink(std::move(tree));
                 });
     return out;
   }
+}
+
+}  // namespace
+
+TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                         const PackingConfig& config) {
+  TreePacking out;
+  TreePacking meta = tree_packing(g, rng, ledger, config,
+                                  [&out](std::vector<EdgeId> tree) {
+                                    out.trees.push_back(std::move(tree));
+                                  });
+  out.lambda_seed = meta.lambda_seed;
+  out.sampled = meta.sampled;
+  return out;
+}
+
+TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                         const PackingConfig& config, const TreeSink& sink) {
+  UMC_ASSERT(g.n() >= 2);
+  UMC_OBS_SPAN_VAR_L(obs_pack, "mincut/tree_packing", "mincut", ledger.rounds());
+  obs_pack.arg("n", g.n());
+
+  PackingKey key;
+  if (config.use_cache) {
+    key.graph_fp = graph_fingerprint(g);
+    key.config_fp = config_fingerprint(config);
+    key.rng_state = rng.state();
+    if (const std::shared_ptr<const PackingEntry> hit = PackingCache::global().lookup(key)) {
+      // Replay: same trees in the same order, same charges, same generator
+      // exit state — indistinguishable from a recompute, at output cost.
+#if !defined(UMC_OBS_DISABLED)
+      packing_metrics().cache_hits.inc();
+#endif
+      obs_pack.arg("cache_hit", 1);
+      for (const std::vector<EdgeId>& tree : hit->trees) sink(std::vector<EdgeId>(tree));
+      ledger.charge_sequential(hit->charges);
+      rng.set_state(hit->rng_after);
+      TreePacking out;
+      out.lambda_seed = hit->lambda_seed;
+      out.sampled = hit->sampled;
+      return out;
+    }
+  }
+#if !defined(UMC_OBS_DISABLED)
+  packing_metrics().cache_misses.inc();
+#endif
+
+  minoragg::Ledger pack_ledger;
+  TreePacking out;
+  if (config.use_cache) {
+    auto entry = std::make_shared<PackingEntry>();
+    out = pack_uncached(g, rng, pack_ledger, config,
+                        [&entry, &sink](std::vector<EdgeId> tree) {
+                          entry->trees.push_back(tree);
+                          sink(std::move(tree));
+                        });
+    entry->lambda_seed = out.lambda_seed;
+    entry->sampled = out.sampled;
+    entry->charges = pack_ledger;
+    entry->rng_after = rng.state();
+    PackingCache::global().insert(key, std::move(entry));
+  } else {
+    out = pack_uncached(g, rng, pack_ledger, config, sink);
+  }
+  ledger.charge_sequential(pack_ledger);
+  return out;
 }
 
 }  // namespace umc::mincut

@@ -31,6 +31,28 @@ struct PackingConfig {
   /// Hard cap on the number of trees (0 = the theorem's I); useful for
   /// quick experiments that trade the whp guarantee for speed.
   int max_trees = 0;
+  /// Fast path: per-iteration MSTs via the reusable chunk-parallel
+  /// BoruvkaPacker with incremental load re-costing, instead of driving a
+  /// full Minor-Aggregation simulation per Borůvka phase. Trees, iteration
+  /// counts, rng consumption, and every ledger charge are bit-identical to
+  /// the simulated reference (the replayed charges are computed from the
+  /// identical phase structure); only wall time changes. OFF pins the
+  /// original producer for differential tests and the seed-vs-fastpath
+  /// bench.
+  bool use_fast_path = true;
+  /// Consult/populate the global PackingCache, keyed by (graph fingerprint,
+  /// rng state, config): a hit replays the recorded trees, charges, and rng
+  /// fast-forward instead of recomputing — how exact_mincut_guarded's
+  /// deterministic re-run self-check avoids paying for the packing twice,
+  /// and how warm-started sessions will reuse packings.
+  bool use_cache = true;
+  /// Minimum live edges per Borůvka fold chunk on the fast path. Pure
+  /// wall-time granularity: chunking cannot change any output (per-component
+  /// minima under a strict total order merge identically under any split),
+  /// so this field is deliberately EXCLUDED from the PackingCache
+  /// fingerprint. Tests lower it to force multi-chunk folds on small
+  /// graphs; the default keeps tiny folds inline.
+  int chunk_min_edges = 2048;
 };
 
 struct TreePacking {
@@ -54,7 +76,8 @@ using TreeSink = std::function<void(std::vector<EdgeId>)>;
 /// iteration i+1 still runs. Identical randomness, identical trees in the
 /// same order, and identical ledger charges as the retaining overload — the
 /// sink is purely an output channel. The sink is invoked on the calling
-/// thread; `rng` and `ledger` are touched only between sink calls.
+/// thread; `rng` is touched only between sink calls, and `ledger` absorbs
+/// the packing's (all-additive) charges once after the final sink call.
 [[nodiscard]] TreePacking tree_packing(const WeightedGraph& g, Rng& rng,
                                        minoragg::Ledger& ledger, const PackingConfig& config,
                                        const TreeSink& sink);

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "graph/dsu.hpp"
+#include "util/scratch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace umc {
 
@@ -54,6 +56,191 @@ std::vector<EdgeId> kruskal_mst(const WeightedGraph& g) {
   for (EdgeId e = 0; e < g.m(); ++e)
     cost[static_cast<std::size_t>(e)] = static_cast<double>(g.edge(e).w);
   return kruskal_mst(g, cost);
+}
+
+namespace {
+
+/// Per-chunk candidate fold scratch: the per-root running minimum for the
+/// components a chunk's edges touch. Epoch tags replace O(n) clears, and the
+/// object is checked out of the thread-local ScratchLease arena, so a fold
+/// task allocates nothing once the pool is warm — whichever session thread
+/// claims it.
+struct MinEdgeScratch {
+  std::vector<std::int64_t> best_cost;
+  std::vector<EdgeId> best_edge;
+  std::vector<std::uint32_t> tag;
+  std::vector<NodeId> touched;
+  std::uint32_t epoch = 0;
+
+  void begin(NodeId n) {
+    const auto need = static_cast<std::size_t>(n);
+    if (tag.size() < need) {
+      best_cost.resize(need);
+      best_edge.resize(need);
+      tag.resize(need, 0);
+    }
+    touched.clear();
+    if (++epoch == 0) {  // tag wraparound: one eager clear per 2^32 phases
+      std::fill(tag.begin(), tag.end(), 0u);
+      epoch = 1;
+    }
+  }
+
+  void offer(NodeId root, std::int64_t cost, EdgeId edge) {
+    const auto r = static_cast<std::size_t>(root);
+    if (tag[r] != epoch) {
+      tag[r] = epoch;
+      best_cost[r] = cost;
+      best_edge[r] = edge;
+      touched.push_back(root);
+    } else if (cost < best_cost[r] || (cost == best_cost[r] && edge < best_edge[r])) {
+      best_cost[r] = cost;
+      best_edge[r] = edge;
+    }
+  }
+};
+
+/// Chunk-count ceiling: enough chunks to feed the session width, but never
+/// so many that per-chunk merge overhead beats the scan itself. The chunk
+/// layout is a pure function of (live-edge count, min_chunk_edges_), so the
+/// chunking — and with it every scheduling-independent output — is
+/// deterministic for a fixed configuration; and since per-component minima
+/// merge identically under ANY chunking, even different granularities agree.
+constexpr std::size_t kMaxChunks = 16;
+
+}  // namespace
+
+NodeId BoruvkaPacker::find(NodeId v) {
+  while (parent_[static_cast<std::size_t>(v)] != v) {
+    parent_[static_cast<std::size_t>(v)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+    v = parent_[static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+void BoruvkaPacker::scan_chunk(const WeightedGraph& g, std::span<const std::int64_t> cost,
+                               std::size_t chunk, std::size_t begin, std::size_t end) {
+  ScratchLease<MinEdgeScratch> lease;
+  MinEdgeScratch& s = *lease;
+  s.begin(g.n());
+  ChunkOut& out = chunks_[chunk];
+  out.candidates.clear();
+  out.survivors.clear();
+  const std::span<const Edge> edges = g.edges();
+  for (std::size_t i = begin; i < end; ++i) {
+    const EdgeId e = live_[i];
+    const Edge& ed = edges[static_cast<std::size_t>(e)];
+    const NodeId cu = comp_[static_cast<std::size_t>(ed.u)];
+    const NodeId cv = comp_[static_cast<std::size_t>(ed.v)];
+    if (cu == cv) continue;  // became internal in an earlier phase
+    out.survivors.push_back(e);
+    const std::int64_t c = cost[static_cast<std::size_t>(e)];
+    s.offer(cu, c, e);
+    s.offer(cv, c, e);
+  }
+  for (const NodeId r : s.touched)
+    out.candidates.emplace_back(
+        r, Cand{s.best_cost[static_cast<std::size_t>(r)], s.best_edge[static_cast<std::size_t>(r)]});
+}
+
+BoruvkaPacker::Result BoruvkaPacker::run(const WeightedGraph& g,
+                                         std::span<const std::int64_t> cost) {
+  const NodeId n = g.n();
+  UMC_ASSERT(n >= 1);
+  UMC_ASSERT(static_cast<EdgeId>(cost.size()) == g.m());
+
+  comp_.resize(static_cast<std::size_t>(n));
+  parent_.resize(static_cast<std::size_t>(n));
+  std::iota(comp_.begin(), comp_.end(), NodeId{0});
+  std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  size_.assign(static_cast<std::size_t>(n), 1);
+  live_.resize(static_cast<std::size_t>(g.m()));
+  std::iota(live_.begin(), live_.end(), EdgeId{0});
+  tree_.clear();
+  if (best_tag_.size() < static_cast<std::size_t>(n)) {
+    best_.resize(static_cast<std::size_t>(n));
+    best_tag_.resize(static_cast<std::size_t>(n), 0);
+  }
+
+  NodeId components = n;
+  int phases = 0;
+  while (components > 1) {
+    // Chunk-parallel candidate fold: each chunk computes per-component
+    // minima over a contiguous slice of the live-edge list, into its own
+    // output slot. Component-wise minimum under the strict (cost, id) order
+    // is associative, commutative, and idempotent, so any chunking and any
+    // execution order merge to the same per-component winner.
+    const std::size_t live = live_.size();
+    const std::size_t nc = std::clamp<std::size_t>(live / min_chunk_edges_, 1, kMaxChunks);
+    if (chunks_.size() < nc) chunks_.resize(nc);
+    if (nc == 1) {
+      scan_chunk(g, cost, 0, 0, live);
+    } else {
+      TaskGroup fold;
+      for (std::size_t c = 0; c < nc; ++c) {
+        const std::size_t begin = live * c / nc;
+        const std::size_t end = live * (c + 1) / nc;
+        fold.spawn([this, &g, cost, c, begin, end] { scan_chunk(g, cost, c, begin, end); });
+      }
+      fold.join();
+    }
+
+    // Merge per-chunk minima into the global per-component winner.
+    if (++epoch_ == 0) {
+      std::fill(best_tag_.begin(), best_tag_.end(), 0u);
+      epoch_ = 1;
+    }
+    touched_.clear();
+    for (std::size_t c = 0; c < nc; ++c) {
+      for (const auto& [root, cand] : chunks_[c].candidates) {
+        const auto r = static_cast<std::size_t>(root);
+        if (best_tag_[r] != epoch_) {
+          best_tag_[r] = epoch_;
+          best_[r] = cand;
+          touched_.push_back(root);
+        } else if (cand.cost < best_[r].cost ||
+                   (cand.cost == best_[r].cost && cand.edge < best_[r].edge)) {
+          best_[r] = cand;
+        }
+      }
+    }
+    UMC_ASSERT_MSG(!touched_.empty(), "boruvka requires a connected graph");
+
+    // Select: each component's winner joins the forest. An edge can win for
+    // both of its endpoint components; the second unite sees one component
+    // and skips it — the same dedup the MA producer gets from its chosen
+    // set. With a strict total order the distinct winners are cycle-free,
+    // so every other unite succeeds.
+    for (const NodeId root : touched_) {
+      const Cand cand = best_[static_cast<std::size_t>(root)];
+      const Edge& ed = g.edge(cand.edge);
+      NodeId a = find(ed.u);
+      NodeId b = find(ed.v);
+      if (a == b) continue;
+      if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)])
+        std::swap(a, b);
+      parent_[static_cast<std::size_t>(b)] = a;
+      size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+      tree_.push_back(cand.edge);
+      --components;
+    }
+    ++phases;
+
+    if (components > 1) {
+      // Relabel components and compact the live list (chunk order keeps it
+      // in original edge order) for the next phase.
+      for (NodeId v = 0; v < n; ++v) comp_[static_cast<std::size_t>(v)] = find(v);
+      std::size_t w = 0;
+      for (std::size_t c = 0; c < nc; ++c)
+        for (const EdgeId e : chunks_[c].survivors) live_[w++] = e;
+      live_.resize(w);
+    }
+  }
+
+  std::sort(tree_.begin(), tree_.end());
+  UMC_ASSERT(static_cast<NodeId>(tree_.size()) == n - 1);
+  return Result{std::span<const EdgeId>(tree_), phases};
 }
 
 std::vector<EdgeId> wilson_random_spanning_tree(const WeightedGraph& g, Rng& rng) {

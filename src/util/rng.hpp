@@ -6,6 +6,7 @@
 // library never uses std::random_device or unspecified std:: distribution
 // implementations; integer draws below are fully specified.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -15,6 +16,17 @@ namespace umc {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Snapshot of the full generator state. Two Rngs with equal states
+  /// produce identical draw sequences — the PackingCache keys cached
+  /// packings on the entry state and fast-forwards a replaying generator to
+  /// the stored exit state, so a cache hit is indistinguishable from a
+  /// recompute to any downstream consumer of the generator.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const State& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
+  }
 
   /// Uniform 64-bit value.
   std::uint64_t next_u64();

@@ -5,7 +5,10 @@
 // The two-respecting solve allocates the same shapes over and over — part
 // tables in every HL/orientation merge iteration (hundreds of thousands per
 // solve), label/suffix rows in every Cov computation, contraction bitmaps in
-// every star configuration. A ScratchLease<T> checks a T out of a
+// every star configuration — and the tree-packing fast path does too: the
+// BoruvkaPacker (DSU parents, live-edge worklists, per-chunk candidate
+// slots), its per-fold MinEdgeScratch, and the packing's load/cost rows all
+// check out of these arenas. A ScratchLease<T> checks a T out of a
 // thread-local free list (constructing one only on a cold pool) and returns
 // it on destruction, so the steady state does zero allocation and reuses
 // whatever capacity earlier leases grew.

@@ -189,6 +189,28 @@ TEST(Spanning, KruskalMatchesKnownMst) {
   EXPECT_EQ(total, 1 + 2 + 4);
 }
 
+TEST(Spanning, KruskalEqualWeightsBreakTiesByEdgeId) {
+  // The packing producer's determinism contract leans on a strict total
+  // order (cost, edge id); kruskal_mst pins the same rule. On a cycle of
+  // equal weights the MST must drop exactly the highest-id edge — any
+  // unstable sort or different tie-break picks a different tree.
+  WeightedGraph g(5);
+  for (NodeId v = 0; v < 5; ++v) g.add_edge(v, static_cast<NodeId>((v + 1) % 5), 7);
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst, (std::vector<EdgeId>{0, 1, 2, 3}));
+
+  // Two parallel-shaped choices per join, all weight 1: ids {0,2,4} are the
+  // unique (weight, id)-minimal spanning set.
+  WeightedGraph h(4);
+  h.add_edge(0, 1, 1);  // id 0: picked
+  h.add_edge(1, 0, 1);  // id 1: tie, loses to 0
+  h.add_edge(1, 2, 1);  // id 2: picked
+  h.add_edge(2, 0, 1);  // id 3: tie, loses to 2
+  h.add_edge(2, 3, 1);  // id 4: picked
+  h.add_edge(3, 1, 1);  // id 5: tie, loses to 4
+  EXPECT_EQ(kruskal_mst(h), (std::vector<EdgeId>{0, 2, 4}));
+}
+
 TEST(Spanning, WilsonProducesSpanningTrees) {
   Rng rng(41);
   const WeightedGraph g = grid_graph(6, 6);

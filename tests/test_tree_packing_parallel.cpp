@@ -1,0 +1,309 @@
+// Determinism gate for the tree-packing fast path: the BoruvkaPacker may
+// fold its per-phase candidate scans on any number of session workers, but
+// the packing output — every tree's edge list, the iteration count, the rng
+// consumption, and every Ledger counter (full map, not a gated subset) —
+// must be bit-identical at widths 1 through 8 AND identical to the
+// pre-change Minor-Aggregation-simulated producer (use_fast_path = false).
+// Plus unit tests for the PackingCache: hit replay transparency, the
+// fingerprint invalidation rule, LRU eviction, and the guarded self-check's
+// replay-as-hit contract.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "mincut/exact_mincut.hpp"
+#include "mincut/packing_cache.hpp"
+#include "mincut/tree_packing.hpp"
+#include "minoragg/ledger.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace umc {
+namespace {
+
+struct PackSnapshot {
+  std::vector<std::vector<EdgeId>> trees;
+  Weight lambda_seed = 0;
+  bool sampled = false;
+  std::int64_t rounds = 0;
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  Rng::State rng_after{};
+
+  bool operator==(const PackSnapshot&) const = default;
+};
+
+/// Runs the streaming packing inside a TaskGraph session of the given
+/// width — the shape exact_mincut opens — so the BoruvkaPacker's chunk
+/// folds actually land on pool workers (width 1 = inline sequential
+/// reference).
+PackSnapshot run_pack(const WeightedGraph& g, int threads, mincut::PackingConfig config,
+                      std::uint64_t seed = 7) {
+  Rng rng(seed);
+  minoragg::Ledger ledger;
+  PackSnapshot s;
+  TaskGraph::session(threads, [&] {
+    const auto meta = mincut::tree_packing(g, rng, ledger, config,
+                                           [&s](std::vector<EdgeId> tree) {
+                                             s.trees.push_back(std::move(tree));
+                                           });
+    s.lambda_seed = meta.lambda_seed;
+    s.sampled = meta.sampled;
+  });
+  s.rounds = ledger.rounds();
+  s.counters = ledger.counters();
+  s.rng_after = rng.state();
+  return s;
+}
+
+/// Width sweep 1..8 against the width-1 reference, full counter maps. The
+/// cache is disabled so every run actually packs, and the fold granularity
+/// is forced down so even these small families split into multiple chunk
+/// tasks per phase — otherwise the whole sweep would run single-chunk and
+/// never exercise the parallel fold path it exists to pin.
+void expect_pack_width_invariant(const WeightedGraph& g, mincut::PackingConfig config = {}) {
+  config.use_cache = false;
+  config.use_fast_path = true;
+  config.chunk_min_edges = 16;
+  const PackSnapshot want = run_pack(g, 1, config);
+  ASSERT_FALSE(want.trees.empty());
+  for (int t = 2; t <= 8; ++t) {
+    const PackSnapshot got = run_pack(g, t, config);
+    EXPECT_EQ(got.trees, want.trees) << "threads=" << t;
+    EXPECT_EQ(got.lambda_seed, want.lambda_seed) << "threads=" << t;
+    EXPECT_EQ(got.sampled, want.sampled) << "threads=" << t;
+    EXPECT_EQ(got.rounds, want.rounds) << "threads=" << t;
+    // Full counter-map equality: any scheduling leak into the accounting
+    // (phase counts, boruvka_iterations, packing_iterations) names itself.
+    EXPECT_EQ(got.counters, want.counters) << "threads=" << t;
+    EXPECT_EQ(got.rng_after, want.rng_after) << "threads=" << t;
+  }
+}
+
+TEST(TreePackingParallel, GridBitIdenticalAcrossWidths) {
+  expect_pack_width_invariant(grid_graph(6, 6));
+}
+
+TEST(TreePackingParallel, ErdosRenyiBitIdenticalAcrossWidths) {
+  Rng rng(23);
+  expect_pack_width_invariant(erdos_renyi_connected(48, 0.18, rng));
+}
+
+TEST(TreePackingParallel, PlanarBitIdenticalAcrossWidths) {
+  Rng rng(5);
+  expect_pack_width_invariant(random_planar_grid(7, 7, 0.4, rng));
+}
+
+TEST(TreePackingParallel, DominantTreeBitIdenticalAcrossWidths) {
+  // Two-tree cap: few, large Borůvka iterations, so the per-phase chunk
+  // folds carry the entire width sweep (no across-iteration slack to hide
+  // a nondeterministic fold behind).
+  Rng rng(11);
+  const WeightedGraph g = erdos_renyi_connected(56, 0.3, rng);
+  mincut::PackingConfig config;
+  config.max_trees = 2;
+  expect_pack_width_invariant(g, config);
+}
+
+TEST(TreePackingParallel, WeightedSampledCaseBitIdenticalAcrossWidths) {
+  // Heavy weights push lambda over the direct threshold into the Karger-
+  // sampling route (case B), whose rng draws precede the packing proper —
+  // the sweep pins that the fast path leaves the sampling stream untouched.
+  Rng rng(13);
+  WeightedGraph g = ring_expander(40, 3, rng);
+  randomize_weights(g, 40, 90, rng);
+  const PackSnapshot probe = run_pack(g, 1, {.use_fast_path = true, .use_cache = false});
+  ASSERT_TRUE(probe.sampled) << "family must exercise the sampling route";
+  expect_pack_width_invariant(g);
+}
+
+TEST(TreePackingParallel, ChunkGranularityCannotChangeOutput) {
+  // The chunking-invariance half of the determinism argument, tested
+  // directly: per-component minima under the strict (cost, edge id) order
+  // merge identically under ANY split of the live-edge list, so every
+  // granularity — including pathological 1-edge chunks — must produce the
+  // same packing. This is also why chunk_min_edges stays out of the
+  // PackingCache fingerprint.
+  Rng grng(19);
+  const WeightedGraph g = erdos_renyi_connected(48, 0.18, grng);
+  mincut::PackingConfig config;
+  config.use_cache = false;
+  const PackSnapshot want = run_pack(g, 4, config);  // default granularity
+  for (const int grain : {1, 7, 16, 100000}) {
+    config.chunk_min_edges = grain;
+    EXPECT_EQ(run_pack(g, 4, config), want) << "chunk_min_edges=" << grain;
+  }
+}
+
+TEST(TreePackingParallel, FastPathMatchesSimulatedReference) {
+  // The differential the whole tentpole rests on: the BoruvkaPacker fast
+  // path must reproduce the Minor-Aggregation-simulated producer exactly —
+  // same trees in the same order, same rounds, same counters, same rng exit
+  // state — on every family, at width 1 and width 8.
+  Rng grng(29);
+  const std::vector<WeightedGraph> families = {
+      grid_graph(6, 6),
+      erdos_renyi_connected(48, 0.18, grng),
+      random_planar_grid(6, 6, 0.5, grng),
+      dumbbell(8, 4),
+  };
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const WeightedGraph& g = families[i];
+    const PackSnapshot legacy = run_pack(g, 1, {.use_fast_path = false, .use_cache = false});
+    const PackSnapshot fast1 = run_pack(g, 1, {.use_fast_path = true, .use_cache = false});
+    const PackSnapshot fast8 =
+        run_pack(g, 8, {.use_fast_path = true, .use_cache = false, .chunk_min_edges = 16});
+    EXPECT_EQ(fast1, legacy) << "family=" << i;
+    EXPECT_EQ(fast8, legacy) << "family=" << i;
+  }
+}
+
+TEST(TreePackingParallel, ExactMincutUnaffectedByFastPathToggle) {
+  // End-to-end: the solver on top must not see the producer swap.
+  Rng grng(37);
+  const WeightedGraph g = erdos_renyi_connected(40, 0.2, grng);
+  const auto solve = [&g](bool fast) {
+    Rng rng(7);
+    minoragg::Ledger ledger;
+    mincut::PackingConfig config;
+    config.use_fast_path = fast;
+    config.use_cache = false;
+    const auto r = mincut::exact_mincut(g, rng, ledger, config, 4);
+    return std::make_pair(r, ledger);
+  };
+  const auto [fast, fast_led] = solve(true);
+  const auto [slow, slow_led] = solve(false);
+  EXPECT_EQ(fast.value, slow.value);
+  EXPECT_EQ(fast.e, slow.e);
+  EXPECT_EQ(fast.f, slow.f);
+  EXPECT_EQ(fast.winning_tree, slow.winning_tree);
+  EXPECT_EQ(fast.num_trees, slow.num_trees);
+  EXPECT_EQ(fast_led.rounds(), slow_led.rounds());
+  EXPECT_EQ(fast_led.counters(), slow_led.counters());
+}
+
+// ---------------------------------------------------------------------------
+// PackingCache unit tests. The cache is process-global and the statistics
+// are cumulative, so every test measures hit/miss DELTAS and clears the
+// entries it planted.
+
+TEST(PackingCache, HitReplaysBitIdentically) {
+  Rng grng(41);
+  const WeightedGraph g = erdos_renyi_connected(36, 0.2, grng);
+  mincut::PackingConfig config;  // use_cache = true
+  auto& cache = mincut::PackingCache::global();
+  cache.clear();
+
+  const std::int64_t hits0 = cache.hits();
+  const std::int64_t misses0 = cache.misses();
+  const PackSnapshot first = run_pack(g, 1, config);
+  EXPECT_EQ(cache.hits(), hits0);
+  EXPECT_EQ(cache.misses(), misses0 + 1);
+
+  // Same graph, same seed, same config: a hit, and the replay must be
+  // observationally identical — trees, order, charges, counters, and the
+  // generator fast-forwarded to the same exit state.
+  const PackSnapshot replay = run_pack(g, 1, config);
+  EXPECT_EQ(cache.hits(), hits0 + 1);
+  EXPECT_EQ(cache.misses(), misses0 + 1);
+  EXPECT_EQ(replay, first);
+  cache.clear();
+}
+
+TEST(PackingCache, DifferentSeedOrConfigMisses) {
+  Rng grng(43);
+  const WeightedGraph g = erdos_renyi_connected(36, 0.2, grng);
+  auto& cache = mincut::PackingCache::global();
+  cache.clear();
+  (void)run_pack(g, 1, {}, /*seed=*/7);
+
+  const std::int64_t hits0 = cache.hits();
+  (void)run_pack(g, 1, {}, /*seed=*/8);  // different entry rng state
+  mincut::PackingConfig capped;
+  capped.max_trees = 3;
+  (void)run_pack(g, 1, capped, /*seed=*/7);  // different config fingerprint
+  EXPECT_EQ(cache.hits(), hits0);
+  cache.clear();
+}
+
+TEST(PackingCache, WeightMutationInvalidates) {
+  Rng grng(47);
+  WeightedGraph g = erdos_renyi_connected(36, 0.2, grng);
+  auto& cache = mincut::PackingCache::global();
+  cache.clear();
+  (void)run_pack(g, 1, {});
+
+  // Any weight mutation changes the graph fingerprint — that IS the
+  // invalidation rule; no explicit invalidate call exists or is needed.
+  g.set_weight(0, g.edge(0).w + 1);
+  const std::int64_t hits0 = cache.hits();
+  const std::int64_t misses0 = cache.misses();
+  (void)run_pack(g, 1, {});
+  EXPECT_EQ(cache.hits(), hits0);
+  EXPECT_EQ(cache.misses(), misses0 + 1);
+  cache.clear();
+}
+
+TEST(PackingCache, LruEvictsBeyondCapacity) {
+  Rng grng(53);
+  const WeightedGraph a = erdos_renyi_connected(30, 0.2, grng);
+  const WeightedGraph b = erdos_renyi_connected(30, 0.2, grng);
+  auto& cache = mincut::PackingCache::global();
+  cache.clear();
+  cache.set_capacity(1);
+
+  (void)run_pack(a, 1, {});
+  EXPECT_EQ(cache.size(), 1u);
+  (void)run_pack(b, 1, {});  // evicts a's entry
+  EXPECT_EQ(cache.size(), 1u);
+  const std::int64_t hits0 = cache.hits();
+  (void)run_pack(a, 1, {});  // miss: evicted
+  EXPECT_EQ(cache.hits(), hits0);
+  (void)run_pack(a, 1, {});  // hit: re-inserted by the miss above
+  EXPECT_EQ(cache.hits(), hits0 + 1);
+
+  cache.set_capacity(4);  // restore the default for later tests
+  cache.clear();
+}
+
+TEST(PackingCache, GuardedSelfCheckReplayHitsCache) {
+  // The motivating consumer: exact_mincut_guarded's determinism guard
+  // replays the packing from the same seed. The primary solve populates the
+  // cache; the replay must be served from it.
+  Rng grng(59);
+  const WeightedGraph g = erdos_renyi_connected(36, 0.2, grng);
+  auto& cache = mincut::PackingCache::global();
+  cache.clear();
+  const std::int64_t hits0 = cache.hits();
+
+  minoragg::Ledger ledger;
+  mincut::GuardConfig config;
+  config.self_check = true;
+  const auto r = mincut::exact_mincut_guarded(g, /*seed=*/7, ledger, config);
+  EXPECT_FALSE(r.diagnosis.used_fallback) << r.diagnosis.to_string();
+  EXPECT_GE(cache.hits(), hits0 + 1) << "the self-check replay must be a cache hit";
+  cache.clear();
+}
+
+TEST(PackingCache, GraphFingerprintSeparatesGraphs) {
+  WeightedGraph a(3);
+  a.add_edge(0, 1, 1);
+  a.add_edge(1, 2, 2);
+  WeightedGraph b(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 3);  // same topology, one weight differs
+  WeightedGraph c(3);
+  c.add_edge(0, 1, 1);
+  c.add_edge(0, 2, 2);  // same weights, one endpoint differs
+  const auto fa = mincut::graph_fingerprint(a);
+  EXPECT_EQ(fa, mincut::graph_fingerprint(a));
+  EXPECT_NE(fa, mincut::graph_fingerprint(b));
+  EXPECT_NE(fa, mincut::graph_fingerprint(c));
+}
+
+}  // namespace
+}  // namespace umc
