@@ -16,6 +16,12 @@
 // expected attempts per logical round grow like 1/(1-q) with q the
 // probability some slot in the round fails — visible as the gentle climb
 // from p = 0.01 to p = 0.3.
+//
+// The third Arg selects the ARQ mode (0 = stop-and-wait, 1 = go-back-N).
+// Go-back-N compresses the triple to 2-round DATA/CTRL cycles with
+// cumulative ACKs riding free reverse slots, so its multiplier floor is 2x
+// plus the drain() flush; bench_fault_arq runs both modes side by side and
+// reports the ratio directly.
 
 #include "bench_common.hpp"
 #include "congest/compiled_network.hpp"
@@ -31,6 +37,8 @@ constexpr std::int64_t kPerMille[] = {0, 10, 100, 300};
 
 void run_fault_overhead(benchmark::State& state, const WeightedGraph& g) {
   const double p = static_cast<double>(state.range(1)) / 1000.0;
+  const auto mode =
+      state.range(2) == 0 ? fault::ArqMode::kStopAndWait : fault::ArqMode::kGoBackN;
   Rng rng(19);
   std::vector<std::int64_t> cost(static_cast<std::size_t>(g.m()));
   for (auto& c : cost) c = rng.next_in(1, 1000);
@@ -41,12 +49,17 @@ void run_fault_overhead(benchmark::State& state, const WeightedGraph& g) {
   plan.seed = 77;
   plan.drop_p = p;
   congest::CompiledBoruvkaResult res{};
+  std::int64_t rounds_total = 0;
   fault::ReliableStats stats{};
   fault::FaultStats faults{};
   for (auto _ : state) {
     fault::FaultModel model(g, plan);
-    fault::ReliableChannel net(g, &model);
+    fault::ReliableConfig cfg;
+    cfg.mode = mode;
+    fault::ReliableChannel net(g, &model, cfg);
     res = congest::compiled_boruvka(net, cost);
+    net.drain();  // GBN: flush the residual ACK journal; no-op otherwise
+    rounds_total = net.rounds();
     stats = net.stats();
     faults = model.stats();
     benchmark::DoNotOptimize(res);
@@ -55,12 +68,14 @@ void run_fault_overhead(benchmark::State& state, const WeightedGraph& g) {
   state.counters["n"] = g.n();
   state.counters["D"] = approx_diameter(g);
   state.counters["drop_p_permille"] = static_cast<double>(state.range(1));
+  state.counters["arq_mode"] = static_cast<double>(state.range(2));
   state.counters["rounds_faultfree"] = static_cast<double>(base.congest_rounds);
-  state.counters["rounds_reliable"] = static_cast<double>(res.congest_rounds);
+  state.counters["rounds_reliable"] = static_cast<double>(rounds_total);
   state.counters["reliability_multiplier"] =
-      static_cast<double>(res.congest_rounds) / static_cast<double>(base.congest_rounds);
+      static_cast<double>(rounds_total) / static_cast<double>(base.congest_rounds);
   state.counters["retransmissions"] = static_cast<double>(stats.retransmissions);
   state.counters["backoff_rounds"] = static_cast<double>(stats.backoff_rounds);
+  state.counters["ack_flush_rounds"] = static_cast<double>(stats.ack_flush_rounds);
   state.counters["drops_injected"] = static_cast<double>(faults.drops);
   state.counters["mst_ok"] = res.tree == base.tree ? 1.0 : 0.0;
 }
@@ -79,7 +94,8 @@ void BM_FaultOverheadPath(benchmark::State& state) {
 
 void fault_args(benchmark::internal::Benchmark* b, std::initializer_list<std::int64_t> sizes) {
   for (const std::int64_t s : sizes)
-    for (const std::int64_t pm : kPerMille) b->Args({s, pm});
+    for (const std::int64_t pm : kPerMille)
+      for (const std::int64_t mode : {0, 1}) b->Args({s, pm, mode});
 }
 
 BENCHMARK(BM_FaultOverheadGrid)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -10,13 +11,16 @@ namespace umc::baseline {
 namespace {
 
 /// Working representation: contracted multigraph as an edge list over
-/// supernode labels, plus the live supernode count.
+/// supernode labels, plus the live supernode count and the original-node →
+/// supernode map (the merge history the witness is read off of; it consumes
+/// no randomness, so tracking it leaves the draw sequence untouched).
 struct Contracted {
   struct E {
     NodeId u, v;
     Weight w;
   };
   std::vector<E> edges;
+  std::vector<NodeId> label;  // original node -> current supernode
   NodeId live = 0;
 
   /// Contract weight-proportionally until `target` supernodes remain.
@@ -44,6 +48,8 @@ struct Contracted {
         if (e.u != e.v) next.push_back(e);
       }
       edges = std::move(next);
+      for (NodeId& l : label)
+        if (l == gone) l = keep;
       --live;
     }
   }
@@ -55,10 +61,21 @@ struct Contracted {
   }
 };
 
-Weight recursive_contract(Contracted g, Rng& rng) {
+struct Best {
+  Weight value = 0;
+  std::vector<NodeId> side;  // original nodes of one side of the cut
+};
+
+Best recursive_contract(Contracted g, Rng& rng) {
   if (g.live <= 6) {
     g.contract_to(2, rng);
-    return g.cut_value();
+    Best out;
+    out.value = g.cut_value();
+    UMC_ASSERT_MSG(!g.edges.empty(), "2 supernodes of a connected graph share an edge");
+    const NodeId rep = g.edges.front().u;
+    for (NodeId v = 0; v < static_cast<NodeId>(g.label.size()); ++v)
+      if (g.label[static_cast<std::size_t>(v)] == rep) out.side.push_back(v);
+    return out;
   }
   const NodeId target = static_cast<NodeId>(
       std::ceil(static_cast<double>(g.live) / 1.4142135623730951)) + 1;
@@ -66,21 +83,40 @@ Weight recursive_contract(Contracted g, Rng& rng) {
   a.contract_to(target, rng);
   Contracted b = std::move(g);
   b.contract_to(target, rng);
-  return std::min(recursive_contract(std::move(a), rng), recursive_contract(std::move(b), rng));
+  Best ra = recursive_contract(std::move(a), rng);
+  Best rb = recursive_contract(std::move(b), rng);
+  return ra.value <= rb.value ? std::move(ra) : std::move(rb);
 }
 
-}  // namespace
-
-Weight karger_stein_min_cut(const WeightedGraph& g, int repeats, Rng& rng) {
+Best best_of(const WeightedGraph& g, int repeats, Rng& rng) {
   UMC_ASSERT(g.n() >= 2);
   UMC_ASSERT(repeats >= 1);
   Contracted base;
   base.live = g.n();
   base.edges.reserve(static_cast<std::size_t>(g.m()));
   for (const Edge& e : g.edges()) base.edges.push_back({e.u, e.v, e.w});
-  Weight best = recursive_contract(base, rng);
-  for (int r = 1; r < repeats; ++r) best = std::min(best, recursive_contract(base, rng));
+  base.label.resize(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) base.label[static_cast<std::size_t>(v)] = v;
+  Best best = recursive_contract(base, rng);
+  for (int r = 1; r < repeats; ++r) {
+    Best next = recursive_contract(base, rng);
+    if (next.value < best.value) best = std::move(next);
+  }
   return best;
+}
+
+}  // namespace
+
+Weight karger_stein_min_cut(const WeightedGraph& g, int repeats, Rng& rng) {
+  return best_of(g, repeats, rng).value;
+}
+
+GlobalMinCut karger_stein_witness(const WeightedGraph& g, int repeats, Rng& rng) {
+  Best best = best_of(g, repeats, rng);
+  GlobalMinCut out;
+  out.value = best.value;
+  out.side = std::move(best.side);
+  return out;
 }
 
 }  // namespace umc::baseline

@@ -7,6 +7,7 @@
 // per run vs Ω(1/n²) for flat contraction. Used as a second randomized
 // oracle and in the baseline benchmarks.
 
+#include "baseline/stoer_wagner.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -15,5 +16,12 @@ namespace umc::baseline {
 /// Best cut over `repeats` recursive-contraction runs. Requires a connected
 /// graph with n >= 2. Θ(log² n) repeats give whp correctness.
 [[nodiscard]] Weight karger_stein_min_cut(const WeightedGraph& g, int repeats, Rng& rng);
+
+/// Same draws, same value, plus one side of the best cut materialized from
+/// the surviving supernode's merge history. The bipartition is the witness
+/// a Monte Carlo answer can be checked against: re-summing the crossing
+/// weights must reproduce `value` exactly (the SolveSupervisor's degraded
+/// Karger–Stein tier certifies its answers this way).
+[[nodiscard]] GlobalMinCut karger_stein_witness(const WeightedGraph& g, int repeats, Rng& rng);
 
 }  // namespace umc::baseline

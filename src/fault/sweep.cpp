@@ -1,0 +1,239 @@
+#include "fault/sweep.hpp"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "baseline/stoer_wagner.hpp"
+#include "graph/generators.hpp"
+#include "mincut/witness.hpp"
+#include "obs/trace.hpp"
+#include "tree/rooted_tree.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace umc::fault {
+
+namespace {
+
+struct NamedGraph {
+  std::string name;
+  WeightedGraph g;
+  Weight oracle = 0;
+};
+
+/// Small families with small λ (few packing iterations), one per topology
+/// class the paper's bounds distinguish: path (high diameter), planar grid,
+/// dense random, and a bridged pair of cliques (unique sparse cut).
+std::vector<NamedGraph> make_generators(const SweepConfig& cfg) {
+  std::vector<NamedGraph> out;
+  const auto add = [&](std::string name, WeightedGraph g) {
+    NamedGraph ng{std::move(name), std::move(g), 0};
+    ng.oracle = baseline::stoer_wagner(ng.g).value;
+    out.push_back(std::move(ng));
+  };
+  Rng rng(mix64(cfg.seed ^ 0x67656eULL));
+  {
+    WeightedGraph g = path_graph(cfg.extended ? 48 : 24);
+    randomize_weights(g, 1, 4, rng);
+    add("path", std::move(g));
+  }
+  add("grid", grid_graph(cfg.extended ? 8 : 5, cfg.extended ? 6 : 5));
+  {
+    WeightedGraph g = erdos_renyi_connected(cfg.extended ? 28 : 18, 0.25, rng);
+    randomize_weights(g, 1, 3, rng);
+    add("erdos-renyi", std::move(g));
+  }
+  add("dumbbell", dumbbell(cfg.extended ? 8 : 6, 3));
+  if (cfg.extended) {
+    WeightedGraph g = ring_expander(32, 2, rng);
+    add("ring-expander", std::move(g));
+  }
+  return out;
+}
+
+struct NamedPlan {
+  std::string name;
+  FaultPlan plan;
+};
+
+/// drop / dup / corrupt / crash at the ISSUE's p grid. The standard matrix
+/// keeps one p per non-drop kind plus the full drop ladder (8 plans); the
+/// extended matrix runs every kind at every p (14 plans).
+std::vector<NamedPlan> make_plans(const SweepConfig& cfg) {
+  std::vector<NamedPlan> out;
+  const auto add = [&](std::string name, FaultPlan p) {
+    p.seed = mix64(cfg.seed ^ mix64(out.size() + 1));
+    out.push_back({std::move(name), p});
+  };
+  add("clean", {});
+  const std::vector<double> grid = {0.01, 0.1, 0.3};
+  for (const double p : grid) {
+    FaultPlan f;
+    f.drop_p = p;
+    add("drop=" + std::to_string(p).substr(0, 4), f);
+  }
+  const std::vector<double> rest = cfg.extended ? grid : std::vector<double>{0.1};
+  for (const double p : rest) {
+    FaultPlan f;
+    f.dup_p = p;
+    add("dup=" + std::to_string(p).substr(0, 4), f);
+    f = {};
+    f.corrupt_p = p;
+    add("corrupt=" + std::to_string(p).substr(0, 4), f);
+  }
+  for (const double p : cfg.extended ? grid : std::vector<double>{0.1}) {
+    FaultPlan f;
+    f.crash_p = p;
+    f.crash_down_rounds = 2;
+    add("crash=" + std::to_string(p).substr(0, 4), f);
+  }
+  {
+    FaultPlan f;
+    f.drop_p = 0.1;
+    f.dup_p = 0.05;
+    f.corrupt_p = 0.05;
+    f.crash_p = 0.05;
+    f.crash_down_rounds = 2;
+    add("mixed", f);
+  }
+  return out;
+}
+
+/// Sweep-side audit, independent of the supervisor's own certification:
+/// exact tiers must carry a winning tree whose witness re-sums (checked via
+/// the guard machinery inside the supervisor — here we re-sum the reported
+/// Karger–Stein side ourselves); degraded answers must be valid cuts.
+void audit(const WeightedGraph& g, const SolveReport& report, SweepOutcome& out) {
+  out.match = report.value == out.oracle;
+  out.witness_valid = false;
+  if (report.tier == SolveTier::kKargerStein) {
+    out.witness_valid = !report.witness_side.empty() &&
+                        static_cast<NodeId>(report.witness_side.size()) < g.n() &&
+                        resummed_cut_value(g, report.witness_side) == report.value;
+  } else {
+    // Exact tiers and the gather baseline answer with exact algorithms; the
+    // value itself is the witness and must equal the oracle.
+    out.witness_valid = out.match;
+  }
+  // A valid cut is never below the min cut; below-oracle values are
+  // corruption no matter what the report claims.
+  const bool below = report.value < out.oracle;
+  const bool flagged = report.degraded() && report.certified && out.witness_valid;
+  out.silent_wrong = below || (!out.match && !flagged);
+}
+
+}  // namespace
+
+std::string SweepSummary::table() const {
+  // plan -> tier -> hits, plus a mismatch-flagged column.
+  std::map<std::string, std::array<int, 4>> by_plan;
+  std::map<std::string, int> flagged;
+  for (const SweepOutcome& o : outcomes) {
+    by_plan[o.plan][static_cast<std::size_t>(o.tier)] += 1;
+    if (!o.match) flagged[o.plan] += 1;
+  }
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "plan" << std::right << std::setw(7) << "exact"
+     << std::setw(8) << "replay" << std::setw(8) << "karger" << std::setw(8) << "gather"
+     << std::setw(10) << "degraded" << '\n';
+  for (const auto& [plan, hits] : by_plan) {
+    os << std::left << std::setw(14) << plan << std::right << std::setw(7) << hits[0]
+       << std::setw(8) << hits[1] << std::setw(8) << hits[2] << std::setw(8) << hits[3]
+       << std::setw(10) << flagged[plan] << '\n';
+  }
+  os << "configs=" << configs << " matches=" << oracle_matches
+     << " degraded_flagged=" << degraded_flagged << " silent_wrong=" << silent_wrong << '\n';
+  return os.str();
+}
+
+std::string SweepSummary::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"fault_sweep/v1\",\"configs\":" << configs
+     << ",\"oracle_matches\":" << oracle_matches << ",\"degraded_flagged\":" << degraded_flagged
+     << ",\"silent_wrong\":" << silent_wrong << ",\"tier_hits\":[" << tier_hits[0] << ','
+     << tier_hits[1] << ',' << tier_hits[2] << ',' << tier_hits[3]
+     << "],\"total_retries\":" << total_retries << ",\"total_tier_falls\":" << total_tier_falls
+     << ",\"total_checkpoint_replays\":" << total_checkpoint_replays << ",\"outcomes\":[";
+  bool first = true;
+  for (const SweepOutcome& o : outcomes) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"generator\":\"" << o.generator << "\",\"plan\":\"" << o.plan
+       << "\",\"entry_tier\":\"" << to_string(o.entry_tier) << "\",\"tier\":\""
+       << to_string(o.tier) << "\",\"oracle\":" << o.oracle << ",\"value\":" << o.value
+       << ",\"certified\":" << (o.certified ? "true" : "false")
+       << ",\"match\":" << (o.match ? "true" : "false")
+       << ",\"witness_valid\":" << (o.witness_valid ? "true" : "false")
+       << ",\"silent_wrong\":" << (o.silent_wrong ? "true" : "false")
+       << ",\"retries\":" << o.retries << ",\"tier_falls\":" << o.tier_falls
+       << ",\"checkpoint_replays\":" << o.checkpoint_replays << ",\"rounds\":" << o.rounds
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+SweepSummary run_fault_sweep(const SweepConfig& cfg) {
+  UMC_OBS_SPAN_L("fault/sweep", "fault", cfg.extended ? 1 : 0);
+  SweepSummary summary;
+  const std::vector<NamedGraph> graphs = make_generators(cfg);
+  const std::vector<NamedPlan> plans = make_plans(cfg);
+  const std::array<SolveTier, 3> tiers = {SolveTier::kExact, SolveTier::kKargerStein,
+                                          SolveTier::kGatherBaseline};
+
+  for (const NamedGraph& ng : graphs) {
+    for (const NamedPlan& np : plans) {
+      for (const SolveTier entry : tiers) {
+        SupervisorConfig sc;
+        sc.seed = mix64(cfg.seed ^ mix64(np.plan.seed));
+        sc.num_threads = cfg.num_threads;
+        sc.entry_tier = entry;
+        // Crash plans fire several pipeline crashes per solve; give the
+        // replay loop room so mid-packing windows recover via checkpoint
+        // replay instead of degrading (heavy plans still exhaust it).
+        sc.max_retries = 12;
+        // The preflight proves MESSAGE transport viability (drop / dup /
+        // corrupt); crash faults are the checkpoint layer's to absorb, and
+        // are injected into the pipeline through crash_plan_hook below — an
+        // unbounded crash schedule would wedge the preflight and mask the
+        // replay path the sweep exists to exercise.
+        FaultPlan preflight = np.plan;
+        preflight.crash_p = 0.0;
+        sc.preflight_plan = preflight.trivial() ? nullptr : &preflight;
+        const SolveSupervisor sup(sc);
+        const SolveReport report = sup.solve(ng.g, crash_plan_hook(np.plan));
+
+        SweepOutcome out;
+        out.generator = ng.name;
+        out.plan = np.name;
+        out.entry_tier = entry;
+        out.tier = report.tier;
+        out.oracle = ng.oracle;
+        out.value = report.value;
+        out.certified = report.certified;
+        out.retries = report.retries;
+        out.tier_falls = report.tier_falls;
+        out.checkpoint_replays = report.checkpoint_replays;
+        out.rounds = report.rounds;
+        out.detail = report.reason;
+        audit(ng.g, report, out);
+
+        summary.configs += 1;
+        summary.oracle_matches += out.match ? 1 : 0;
+        summary.silent_wrong += out.silent_wrong ? 1 : 0;
+        summary.degraded_flagged += (!out.match && !out.silent_wrong) ? 1 : 0;
+        summary.tier_hits[static_cast<std::size_t>(report.tier)] += 1;
+        summary.total_retries += report.retries;
+        summary.total_tier_falls += report.tier_falls;
+        summary.total_checkpoint_replays += report.checkpoint_replays;
+        summary.outcomes.push_back(std::move(out));
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace umc::fault

@@ -13,19 +13,44 @@ namespace umc {
 
 namespace {
 
+[[nodiscard]] bool is_blank(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
 /// Whitespace-splits a line into tokens (the '#' comment tail is already
-/// stripped by the caller).
+/// stripped by the caller). Any run of blanks separates tokens, so leading
+/// and trailing whitespace — including a CRLF's residual '\r' — is inert.
 std::vector<std::string_view> tokenize(std::string_view line) {
   std::vector<std::string_view> toks;
   std::size_t i = 0;
   while (i < line.size()) {
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    while (i < line.size() && is_blank(line[i])) ++i;
     std::size_t j = i;
-    while (j < line.size() && line[j] != ' ' && line[j] != '\t' && line[j] != '\r') ++j;
+    while (j < line.size() && !is_blank(line[j])) ++j;
     if (j > i) toks.push_back(line.substr(i, j - i));
     i = j;
   }
   return toks;
+}
+
+/// Universal-newline getline: a line ends at '\n', "\r\n", or a lone '\r'
+/// (classic-Mac files — std::getline would hand those back as one giant
+/// line and the header parse would reject the whole file). Returns false at
+/// end of input with nothing read.
+bool getline_any(std::istream& in, std::string& line) {
+  line.clear();
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  while (c != std::istream::traits_type::eof()) {
+    if (c == '\n') break;
+    if (c == '\r') {
+      if (in.peek() == '\n') in.get();  // swallow the LF of a CRLF pair
+      break;
+    }
+    line.push_back(static_cast<char>(c));
+    c = in.get();
+  }
+  return true;
 }
 
 /// Strict integer parse: the whole token must be a decimal integer that
@@ -53,7 +78,7 @@ Expected<WeightedGraph> try_read_edge_list(std::istream& in) {
   bool have_n = false;
   WeightedGraph g;
   int lineno = 0;
-  while (std::getline(in, line)) {
+  while (getline_any(in, line)) {
     ++lineno;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);

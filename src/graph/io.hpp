@@ -14,7 +14,9 @@
 // Expected<WeightedGraph> and reject malformed input (bad tokens, ids out
 // of range, weights outside [1, kMaxEdgeWeight], integer overflow, trailing
 // junk) with a recoverable Error naming the offending line — they never
-// throw. The legacy read_* entry points keep the old contract and convert
+// throw. Line endings are universal (LF, CRLF, or lone CR) and leading or
+// trailing whitespace on a line is inert, so files produced on any OS parse
+// identically. The legacy read_* entry points keep the old contract and convert
 // parse errors into invariant_error.
 //
 // Weight bounds: weights must lie in [1, kMaxEdgeWeight] with at most

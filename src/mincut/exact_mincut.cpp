@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <exception>
+#include <mutex>
 #include <sstream>
 
 #include "congest/gather_baseline.hpp"
@@ -127,6 +129,100 @@ ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng, minoragg::Ledge
   return out;
 }
 
+ExactMinCutResult exact_mincut_resumable(const WeightedGraph& g, Rng& rng,
+                                         minoragg::Ledger& ledger, const PackingConfig& config,
+                                         int num_threads, SolveCheckpoint& ckpt,
+                                         const CrashHook& hook) {
+  UMC_ASSERT(g.n() >= 2);
+  UMC_OBS_SPAN_VAR_L(obs_exact, "mincut/exact_resumable", "mincut", ledger.rounds());
+  obs_exact.arg("n", g.n());
+  obs_exact.arg("committed_solves", ckpt.committed_solves());
+  ExactMinCutResult out;
+
+  if (g.n() == 2) {
+    // Single possible cut; nothing worth journaling.
+    ledger.charge(1);
+    out.value = g.total_weight();
+    out.num_trees = 0;
+    return out;
+  }
+
+  // Same pipelined session as exact_mincut, with two journal taps: trees
+  // whose solve already committed are filled from the journal instead of
+  // spawning, and every live solve commits its (result, ledger) under the
+  // checkpoint mutex before finishing. A producer crash is captured so the
+  // already-spawned solves still run — and commit — before it propagates;
+  // a solve crash is captured by the session (which drains, then rethrows).
+  std::deque<std::vector<EdgeId>> trees;
+  std::deque<CutResult> results;
+  std::deque<minoragg::Ledger> tree_ledgers;
+  std::mutex ckpt_mu;
+  std::exception_ptr producer_crash;
+  const int width = std::max(1, num_threads);
+  const TaskGraph::Stats stats = TaskGraph::session(width, [&] {
+    TaskGroup solves;
+    try {
+      (void)tree_packing_resumable(
+          g, rng, ledger, config,
+          [&](std::vector<EdgeId> tree) {
+            trees.push_back(std::move(tree));
+            const std::vector<EdgeId>& edges = trees.back();
+            CutResult& slot = results.emplace_back();
+            minoragg::Ledger& tree_ledger = tree_ledgers.emplace_back();
+            const auto index = static_cast<std::int64_t>(results.size()) - 1;
+            {
+              const std::lock_guard<std::mutex> lock(ckpt_mu);
+              ckpt.note_tree_count(results.size());
+              if (ckpt.solved_mask[static_cast<std::size_t>(index)] != 0) {
+                slot = ckpt.solved[static_cast<std::size_t>(index)];
+                tree_ledger = ckpt.solve_charges[static_cast<std::size_t>(index)];
+                ++ckpt.replayed_units;
+                return;  // journal replay: no solve task
+              }
+            }
+            solves.spawn([&g, &edges, &slot, &tree_ledger, index, &ckpt, &ckpt_mu, &hook] {
+              UMC_OBS_SPAN_VAR_L(obs_tree, "mincut/two_respect_tree", "mincut", index);
+              obs_tree.arg("pool_thread", ThreadPool::current_index());
+              (void)minoragg::orient_tree(g, edges, /*root=*/0, tree_ledger);
+              slot = two_respecting_mincut(g, edges, /*root=*/0, tree_ledger);
+              if (hook) hook(SolvePhase::kTreeSolve, index);
+              const std::lock_guard<std::mutex> lock(ckpt_mu);
+              ckpt.solved[static_cast<std::size_t>(index)] = slot;
+              ckpt.solve_charges[static_cast<std::size_t>(index)] = tree_ledger;
+              ckpt.solved_mask[static_cast<std::size_t>(index)] = 1;
+            });
+          },
+          ckpt.packing, hook);
+    } catch (...) {
+      producer_crash = std::current_exception();
+    }
+    solves.join();
+  });
+#if !defined(UMC_OBS_DISABLED)
+  mincut_task_metrics().spawned.inc(stats.spawned);
+  mincut_task_metrics().helped.inc(stats.helped);
+  if (stats.width > 1) mincut_task_metrics().sessions.inc();
+#else
+  (void)stats;
+#endif
+  if (producer_crash) std::rethrow_exception(producer_crash);
+
+  const std::size_t num_trees = results.size();
+  out.num_trees = static_cast<int>(num_trees);
+  for (std::size_t i = 0; i < num_trees; ++i) {
+    ledger.charge_sequential(tree_ledgers[i]);
+    const CutResult& r = results[i];
+    if (r.value < out.value) {  // strict: ties keep the lowest tree index
+      out.value = r.value;
+      out.e = r.e;
+      out.f = r.f;
+      out.winning_tree = static_cast<int>(i);
+    }
+  }
+  UMC_ASSERT_MSG(out.value < kInfWeight, "a packing always yields at least one cut");
+  return out;
+}
+
 std::string MinCutDiagnosis::to_string() const {
   std::ostringstream os;
   os << (used_fallback ? "degraded to gather baseline" : "primary path healthy");
@@ -142,22 +238,22 @@ bool self_check_enabled() {
   return enabled;
 }
 
-namespace {
-
-/// Runs the guard battery against `primary`; appends one line per failure.
-/// Replays the packing from `seed` — the pipeline's randomness is only in
-/// the packing, so a same-seed replay must reproduce the winning tree. The
-/// replay shares the primary solve's key (same graph, same entry rng state,
-/// same config), so it is a PackingCache hit: the recorded trees stream
-/// back at output cost instead of re-running the packing iterations.
-void run_guards(const WeightedGraph& g, std::uint64_t seed, const GuardConfig& config,
-                const ExactMinCutResult& primary, std::vector<std::string>& failures) {
+// The guard battery against `primary`: one line per failure, empty means
+// certified. Replays the packing from `seed` — the pipeline's randomness is
+// only in the packing, so a same-seed replay must reproduce the winning
+// tree. The replay shares the primary solve's key (same graph, same entry
+// rng state, same config), so it is a PackingCache hit: the recorded trees
+// stream back at output cost instead of re-running the packing iterations.
+std::vector<std::string> verify_mincut_result(const WeightedGraph& g, std::uint64_t seed,
+                                              const GuardConfig& config,
+                                              const ExactMinCutResult& primary) {
+  std::vector<std::string> failures;
   if (g.n() == 2) {
     // Single possible cut: recompute it directly.
     if (primary.value != g.total_weight())
       failures.push_back("cut-cov mismatch: reported " + std::to_string(primary.value) +
                          ", direct recount " + std::to_string(g.total_weight()));
-    return;
+    return failures;
   }
 
   // Packing respect check: the winner must name a replayable packing tree.
@@ -168,13 +264,13 @@ void run_guards(const WeightedGraph& g, std::uint64_t seed, const GuardConfig& c
     failures.push_back("determinism: packing replay produced " +
                        std::to_string(packing.trees.size()) + " trees, primary saw " +
                        std::to_string(primary.num_trees));
-    return;
+    return failures;
   }
   if (primary.winning_tree < 0 || primary.winning_tree >= primary.num_trees) {
     failures.push_back("packing respect: winning tree index " +
                        std::to_string(primary.winning_tree) + " outside [0, " +
                        std::to_string(primary.num_trees) + ")");
-    return;
+    return failures;
   }
   const std::vector<EdgeId>& tree =
       packing.trees[static_cast<std::size_t>(primary.winning_tree)];
@@ -205,9 +301,8 @@ void run_guards(const WeightedGraph& g, std::uint64_t seed, const GuardConfig& c
   } catch (const invariant_error& e) {
     failures.push_back(std::string("packing respect: ") + e.what());
   }
+  return failures;
 }
-
-}  // namespace
 
 GuardedMinCutResult exact_mincut_guarded(const WeightedGraph& g, std::uint64_t seed,
                                          minoragg::Ledger& ledger, const GuardConfig& config) {
@@ -222,7 +317,7 @@ GuardedMinCutResult exact_mincut_guarded(const WeightedGraph& g, std::uint64_t s
       // battery can notice — exercising detection, not just degradation.
       out.primary.value += 1;
     }
-    if (check) run_guards(g, seed, config, out.primary, out.diagnosis.failures);
+    if (check) out.diagnosis.failures = verify_mincut_result(g, seed, config, out.primary);
   } catch (const invariant_error& e) {
     out.diagnosis.failures.push_back(std::string("invariant: ") + e.what());
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mincut/instance.hpp"
+#include "mincut/solve_checkpoint.hpp"
 #include "mincut/tree_packing.hpp"
 #include "minoragg/ledger.hpp"
 #include "util/rng.hpp"
@@ -47,6 +48,22 @@ struct ExactMinCutResult {
 [[nodiscard]] ExactMinCutResult exact_mincut(const WeightedGraph& g, Rng& rng,
                                              minoragg::Ledger& ledger,
                                              const PackingConfig& config, int num_threads);
+
+/// Checkpoint-resumable solve: the same pipelined packing + per-tree
+/// 2-respecting fan-out, journaling every committed unit into `ckpt` so a
+/// crash_error thrown by `hook` (or escaping the producer) loses only
+/// in-flight work. Re-entering with the same (graph, config, seed) and the
+/// surviving `ckpt` replays the journal and recomputes the rest; the final
+/// result, `ledger` charges, and `rng` exit state are bit-identical to an
+/// uninterrupted exact_mincut run no matter where (or whether) crashes
+/// struck. A crash propagates out of this function after every already-
+/// spawned tree solve finished committing — the pipelined units are not
+/// thrown away with the exception.
+[[nodiscard]] ExactMinCutResult exact_mincut_resumable(const WeightedGraph& g, Rng& rng,
+                                                       minoragg::Ledger& ledger,
+                                                       const PackingConfig& config,
+                                                       int num_threads, SolveCheckpoint& ckpt,
+                                                       const CrashHook& hook = nullptr);
 
 // ---------------------------------------------------------------------------
 // Graceful degradation: guarded execution with runtime self-checks.
@@ -100,6 +117,17 @@ struct GuardedMinCutResult {
 /// True when the UMC_SELF_CHECK environment knob enables guard checks
 /// (values "1" or "on"; read once per process).
 [[nodiscard]] bool self_check_enabled();
+
+/// The guard battery as a standalone oracle: validates `primary` against a
+/// same-seed packing replay (PackingCache hit in the common case), the
+/// witness re-sum, and the deterministic 2-respecting re-run. Returns one
+/// structured line per failed guard — empty means certified. This is the
+/// cross-tier verifier the SolveSupervisor and the differential fault sweep
+/// use to certify whichever tier produced an exact answer.
+[[nodiscard]] std::vector<std::string> verify_mincut_result(const WeightedGraph& g,
+                                                            std::uint64_t seed,
+                                                            const GuardConfig& config,
+                                                            const ExactMinCutResult& primary);
 
 /// Guarded entry point. Takes a seed (not an Rng&) so the packing can be
 /// replayed deterministically for the guards. Never throws on corruption of

@@ -1,0 +1,35 @@
+#include "mincut/solve_checkpoint.hpp"
+
+#include <string>
+
+namespace umc::mincut {
+
+const char* to_string(SolvePhase p) {
+  switch (p) {
+    case SolvePhase::kPackingSetup: return "packing-setup";
+    case SolvePhase::kPackingIteration: return "packing-iteration";
+    case SolvePhase::kTreeSolve: return "tree-solve";
+  }
+  return "?";
+}
+
+crash_error::crash_error(SolvePhase phase, std::int64_t index)
+    : std::runtime_error(std::string("simulated crash at ") + to_string(phase) + " #" +
+                         std::to_string(index)),
+      phase_(phase),
+      index_(index) {}
+
+std::int64_t SolveCheckpoint::committed_solves() const {
+  std::int64_t n = 0;
+  for (const char c : solved_mask) n += c != 0 ? 1 : 0;
+  return n;
+}
+
+void SolveCheckpoint::note_tree_count(std::size_t count) {
+  if (solved.size() >= count) return;
+  solved.resize(count);
+  solved_mask.resize(count, 0);
+  solve_charges.resize(count);
+}
+
+}  // namespace umc::mincut

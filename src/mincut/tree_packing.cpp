@@ -216,6 +216,160 @@ TreePacking pack_uncached(const WeightedGraph& g, Rng& rng, minoragg::Ledger& pa
   }
 }
 
+/// Resumable core: mirrors pack_uncached, but commits each unit of work
+/// into `ckpt` (firing `hook` just before the commit) and charges each
+/// unit into its own ledger so a replayed prefix absorbs exactly what the
+/// live run charged. Bit-equality with pack_uncached holds because the
+/// setup and the greedy loop are deterministic given (graph, config, rng
+/// entry state) and charge_sequential is associative over the unit split.
+TreePacking pack_resumable(const WeightedGraph& g, Rng& rng, minoragg::Ledger& pack_ledger,
+                           const PackingConfig& config, const TreeSink& sink,
+                           PackingCheckpoint& ckpt, const CrashHook& hook) {
+  TreePacking out;
+  const std::int64_t logn = ceil_log2(static_cast<std::uint64_t>(g.n()) + 1) + 1;
+  const std::int64_t logm = ceil_log2(static_cast<std::uint64_t>(g.m()) + 2) + 1;
+  const auto cap = [&config](std::int64_t iters) {
+    iters = std::max<std::int64_t>(iters, 1);
+    if (config.max_trees > 0) iters = std::min<std::int64_t>(iters, config.max_trees);
+    return static_cast<int>(iters);
+  };
+
+  if (!ckpt.setup_done) {
+    minoragg::Ledger setup;
+    out.lambda_seed = baseline::stoer_wagner(g).value;
+    setup.charge(logn * logn);  // the approx-min-cut's polylog round budget
+    std::vector<Weight> multiplicity;
+    int iterations = 0;
+    if (static_cast<double>(out.lambda_seed) <=
+        config.direct_threshold_c * static_cast<double>(logn)) {
+      // Case (A): direct greedy packing on the full multiplicities; nothing
+      // worth journaling beyond the iteration target (rng untouched).
+      iterations = cap(2 * out.lambda_seed * logm);
+    } else {
+      // Case (B): Karger-sample (the only randomness of the whole solve).
+      out.sampled = true;
+      const double base_p =
+          config.sample_c * static_cast<double>(logn) / static_cast<double>(out.lambda_seed);
+      for (double p = base_p;; p = std::min(1.0, 2 * p)) {
+        multiplicity.assign(static_cast<std::size_t>(g.m()), 0);
+        WeightedGraph sample(g.n());
+        for (EdgeId e = 0; e < g.m(); ++e) {
+          const Weight s = binomial_sample(g.edge(e).w, p, rng);
+          multiplicity[static_cast<std::size_t>(e)] = s;
+          if (s > 0) sample.add_edge(g.edge(e).u, g.edge(e).v, s);
+        }
+        if (!is_connected(sample)) {
+          UMC_ASSERT_MSG(p < 1.0, "sampling at p = 1 keeps the graph connected");
+          continue;  // resample denser (whp never needed at the theorem's C)
+        }
+        iterations = cap(2 * baseline::stoer_wagner(sample).value * logm);
+        break;
+      }
+    }
+    if (hook) hook(SolvePhase::kPackingSetup, 0);
+    ckpt.setup_done = true;
+    ckpt.lambda_seed = out.lambda_seed;
+    ckpt.sampled = out.sampled;
+    ckpt.multiplicity = std::move(multiplicity);
+    ckpt.rng_after_setup = rng.state();
+    ckpt.setup_charges = setup;
+    ckpt.iterations = iterations;
+  } else {
+    // Resume: the setup is journaled; skip straight past its randomness.
+    rng.set_state(ckpt.rng_after_setup);
+  }
+  out.lambda_seed = ckpt.lambda_seed;
+  out.sampled = ckpt.sampled;
+  pack_ledger.charge_sequential(ckpt.setup_charges);
+
+  // Rebuild the packing substrate: the sample graph for case B (with the
+  // sample-id -> original-id map), g itself for case A.
+  WeightedGraph sample_storage(0);
+  const WeightedGraph* pack_g = &g;
+  std::vector<EdgeId> present;           // pack edge id -> original edge id
+  std::vector<EdgeId> original_to_pack;  // inverse (case B only)
+  std::vector<Weight> multiplicity(static_cast<std::size_t>(g.m()));
+  if (ckpt.sampled) {
+    sample_storage = WeightedGraph(g.n());
+    original_to_pack.assign(static_cast<std::size_t>(g.m()), kNoEdge);
+    std::vector<Weight> pack_mult;
+    for (EdgeId e = 0; e < g.m(); ++e) {
+      const Weight s = ckpt.multiplicity[static_cast<std::size_t>(e)];
+      if (s == 0) continue;
+      original_to_pack[static_cast<std::size_t>(e)] = static_cast<EdgeId>(present.size());
+      present.push_back(e);
+      pack_mult.push_back(s);
+      sample_storage.add_edge(g.edge(e).u, g.edge(e).v, s);
+    }
+    pack_g = &sample_storage;
+    multiplicity = std::move(pack_mult);
+  } else {
+    for (EdgeId e = 0; e < g.m(); ++e) multiplicity[static_cast<std::size_t>(e)] = g.edge(e).w;
+  }
+  const auto to_pack_id = [&](EdgeId original) {
+    return ckpt.sampled ? original_to_pack[static_cast<std::size_t>(original)] : original;
+  };
+  const auto to_original_id = [&](EdgeId pack) {
+    return ckpt.sampled ? present[static_cast<std::size_t>(pack)] : pack;
+  };
+
+  // Replay the committed prefix (loads rebuilt from the journaled trees),
+  // then continue live from the first uncommitted iteration.
+  const auto pack_m = static_cast<std::size_t>(pack_g->m());
+  std::vector<std::int64_t> load(pack_m, 0);
+  const int committed = ckpt.committed_iterations();
+  for (int it = 0; it < committed; ++it) {
+    pack_ledger.charge_sequential(ckpt.iteration_charges[static_cast<std::size_t>(it)]);
+    for (const EdgeId e : ckpt.trees[static_cast<std::size_t>(it)])
+      ++load[static_cast<std::size_t>(to_pack_id(e))];
+    sink(std::vector<EdgeId>(ckpt.trees[static_cast<std::size_t>(it)]));
+  }
+
+  std::vector<std::int64_t> cost(pack_m, 0);
+  for (std::size_t i = 0; i < pack_m; ++i) cost[i] = (load[i] << 20) / multiplicity[i];
+#if !defined(UMC_OBS_DISABLED)
+  if (config.use_fast_path && committed < ckpt.iterations)
+    packing_metrics().resort_edges.inc(static_cast<std::int64_t>(pack_m));
+#endif
+  ScratchLease<BoruvkaPacker> packer;
+  packer->set_min_chunk_edges(static_cast<std::size_t>(std::max(config.chunk_min_edges, 1)));
+  for (int it = committed; it < ckpt.iterations; ++it) {
+    UMC_OBS_SPAN_VAR_L(obs_iter, "mincut/packing_iter", "mincut", it);
+    obs_iter.arg("pool_thread", ThreadPool::current_index());
+    minoragg::Ledger iter_ledger;
+    std::vector<EdgeId> tree;
+    if (config.use_fast_path) {
+      const BoruvkaPacker::Result r = packer->run(*pack_g, cost);
+      iter_ledger.charge(r.phases + 1);
+      iter_ledger.bump("boruvka_iterations", r.phases);
+      tree.assign(r.tree.begin(), r.tree.end());
+      for (const EdgeId e : tree) {
+        const auto i = static_cast<std::size_t>(e);
+        ++load[i];
+        cost[i] = (load[i] << 20) / multiplicity[i];
+      }
+#if !defined(UMC_OBS_DISABLED)
+      packing_metrics().resort_edges.inc(static_cast<std::int64_t>(tree.size()));
+#endif
+    } else {
+      for (std::size_t i = 0; i < pack_m; ++i) cost[i] = (load[i] << 20) / multiplicity[i];
+#if !defined(UMC_OBS_DISABLED)
+      packing_metrics().resort_edges.inc(static_cast<std::int64_t>(pack_m));
+#endif
+      tree = minoragg::boruvka_mst(*pack_g, cost, iter_ledger);
+      for (const EdgeId e : tree) ++load[static_cast<std::size_t>(e)];
+    }
+    iter_ledger.bump("packing_iterations");
+    for (EdgeId& e : tree) e = to_original_id(e);
+    if (hook) hook(SolvePhase::kPackingIteration, it);
+    ckpt.trees.push_back(tree);
+    ckpt.iteration_charges.push_back(iter_ledger);
+    pack_ledger.charge_sequential(iter_ledger);
+    sink(std::move(tree));
+  }
+  return out;
+}
+
 }  // namespace
 
 TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
@@ -277,6 +431,65 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     PackingCache::global().insert(key, std::move(entry));
   } else {
     out = pack_uncached(g, rng, pack_ledger, config, sink);
+  }
+  ledger.charge_sequential(pack_ledger);
+  return out;
+}
+
+TreePacking tree_packing_resumable(const WeightedGraph& g, Rng& rng, minoragg::Ledger& ledger,
+                                   const PackingConfig& config, const TreeSink& sink,
+                                   PackingCheckpoint& ckpt, const CrashHook& hook) {
+  UMC_ASSERT(g.n() >= 2);
+  UMC_OBS_SPAN_VAR_L(obs_pack, "mincut/tree_packing_resumable", "mincut", ledger.rounds());
+  obs_pack.arg("n", g.n());
+  obs_pack.arg("committed", ckpt.committed_iterations());
+
+  PackingKey key;
+  key.graph_fp = graph_fingerprint(g);
+  key.config_fp = config_fingerprint(config);
+  key.rng_state = rng.state();
+  if (ckpt.empty()) {
+    ckpt.graph_fp = key.graph_fp;
+    ckpt.config_fp = key.config_fp;
+    ckpt.rng_entry = key.rng_state;
+    if (config.use_cache) {
+      if (const std::shared_ptr<const PackingEntry> hit = PackingCache::global().lookup(key)) {
+        // Full replay from the cache — strictly better than any journal.
+#if !defined(UMC_OBS_DISABLED)
+        packing_metrics().cache_hits.inc();
+#endif
+        obs_pack.arg("cache_hit", 1);
+        for (const std::vector<EdgeId>& tree : hit->trees) sink(std::vector<EdgeId>(tree));
+        ledger.charge_sequential(hit->charges);
+        rng.set_state(hit->rng_after);
+        TreePacking out;
+        out.lambda_seed = hit->lambda_seed;
+        out.sampled = hit->sampled;
+        return out;
+      }
+    }
+#if !defined(UMC_OBS_DISABLED)
+    packing_metrics().cache_misses.inc();
+#endif
+  } else {
+    // A journal binds to exactly one solve: resuming with a different
+    // graph, config, or generator entry state is a caller bug, and replaying
+    // across it would be a silent wrong answer.
+    UMC_ASSERT_MSG(ckpt.graph_fp == key.graph_fp && ckpt.config_fp == key.config_fp &&
+                       ckpt.rng_entry == key.rng_state,
+                   "PackingCheckpoint resumed against a different (graph, config, seed)");
+  }
+
+  minoragg::Ledger pack_ledger;
+  const TreePacking out = pack_resumable(g, rng, pack_ledger, config, sink, ckpt, hook);
+  if (config.use_cache) {
+    auto entry = std::make_shared<PackingEntry>();
+    entry->trees = ckpt.trees;
+    entry->lambda_seed = out.lambda_seed;
+    entry->sampled = out.sampled;
+    entry->charges = pack_ledger;
+    entry->rng_after = rng.state();
+    PackingCache::global().insert(key, std::move(entry));
   }
   ledger.charge_sequential(pack_ledger);
   return out;

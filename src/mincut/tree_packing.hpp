@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "mincut/solve_checkpoint.hpp"
 #include "minoragg/ledger.hpp"
 #include "util/rng.hpp"
 
@@ -81,5 +82,24 @@ using TreeSink = std::function<void(std::vector<EdgeId>)>;
 [[nodiscard]] TreePacking tree_packing(const WeightedGraph& g, Rng& rng,
                                        minoragg::Ledger& ledger, const PackingConfig& config,
                                        const TreeSink& sink);
+
+/// Checkpoint-resumable producer. Journals every committed unit (setup,
+/// then each greedy iteration) into `ckpt`; when `ckpt` already holds work
+/// for this exact (graph, config, entry rng state) — asserted — the
+/// committed prefix is REPLAYED through the sink and packing continues live
+/// from the first uncommitted iteration. Trees, emit order, ledger charges,
+/// and the generator exit state are bit-identical to an uninterrupted
+/// tree_packing call regardless of how many crash/resume cycles happened.
+///
+/// `hook` fires before each commit (kPackingSetup once, kPackingIteration
+/// per iteration) and may throw crash_error; the caller must then reset the
+/// rng to the entry state before resuming (setup consumes randomness).
+/// The PackingCache is consulted only when `ckpt` is empty — a hit is a
+/// full replay, the cheapest resume of all — and populated on completion.
+[[nodiscard]] TreePacking tree_packing_resumable(const WeightedGraph& g, Rng& rng,
+                                                 minoragg::Ledger& ledger,
+                                                 const PackingConfig& config,
+                                                 const TreeSink& sink, PackingCheckpoint& ckpt,
+                                                 const CrashHook& hook = nullptr);
 
 }  // namespace umc::mincut

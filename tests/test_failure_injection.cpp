@@ -209,6 +209,73 @@ TEST(Ingestion, AcceptsCommentsBlanksAndDefaultWeights) {
   EXPECT_EQ(g.value().edge(1).w, 5);
 }
 
+TEST(Ingestion, AcceptsCrlfLoneCrAndTrailingWhitespace) {
+  // The same tiny graph in every line-ending convention (plus stray blanks)
+  // must parse to identical topology — files written on any OS are valid.
+  const std::string lf = "3\n0 1 4\n1 2 7\n";
+  const std::string crlf = "3\r\n0 1 4\r\n1 2 7\r\n";
+  const std::string lone_cr = "3\r0 1 4\r1 2 7\r";
+  const std::string padded = "  3  \t\r\n\t0 1 4   \r\n 1 2 7\t\r\n";
+  for (const std::string& text : {lf, crlf, lone_cr, padded}) {
+    const Expected<WeightedGraph> g = parse(text);
+    ASSERT_TRUE(g.has_value()) << g.error().to_string();
+    EXPECT_EQ(g.value().n(), 3);
+    ASSERT_EQ(g.value().m(), 2);
+    EXPECT_EQ(g.value().edge(0).w, 4);
+    EXPECT_EQ(g.value().edge(1).w, 7);
+  }
+  // CRLF line numbering must match the LF file's: error on (1-based) line 3.
+  const Expected<WeightedGraph> bad = parse("3\r\n0 1 4\r\n0 9\r\n");
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error().code, ErrorCode::kRange);
+  EXPECT_EQ(bad.error().line, 3);
+}
+
+TEST(Ingestion, MalformedCorpusCoversEveryErrorCode) {
+  // One corpus entry per reachable Error code path — the structured codes
+  // are API surface (the CLI and the fault-sweep tool branch on them), so a
+  // refactor that merges or drops a path must fail here.
+  struct Case {
+    const char* text;
+    ErrorCode code;
+    int line;
+  };
+  const Case corpus[] = {
+      // kParse paths
+      {"", ErrorCode::kParse, 0},                        // missing header
+      {"# only comments\n\n", ErrorCode::kParse, 0},     // still no header
+      {"abc\n", ErrorCode::kParse, 1},                   // non-numeric header
+      {"4 7\n", ErrorCode::kParse, 1},                   // multi-token header
+      {"3\n0\n", ErrorCode::kParse, 2},                  // 1-token edge line
+      {"3\n0 1 2 3\n", ErrorCode::kParse, 2},            // 4-token edge line
+      {"3\n0 x\n", ErrorCode::kParse, 2},                // non-numeric endpoint
+      {"3\n0 1 two\n", ErrorCode::kParse, 2},            // non-numeric weight
+      {"3\n0 1 5z\n", ErrorCode::kParse, 2},             // trailing junk in token
+      {"3\r\n0 1\r\n0 2 3 4 5\r\n", ErrorCode::kParse, 3},  // malformed under CRLF
+      // kRange paths
+      {"-1\n", ErrorCode::kRange, 1},                    // negative node count
+      {"1073741825\n", ErrorCode::kRange, 1},            // node count > 2^30
+      {"3\n0 5\n", ErrorCode::kRange, 2},                // endpoint >= n
+      {"3\n-1 1\n", ErrorCode::kRange, 2},               // negative endpoint
+      {"3\n1 1\n", ErrorCode::kRange, 2},                // self-loop
+      {"3\n0 1 0\n", ErrorCode::kRange, 2},              // zero weight
+      {"3\n0 1 -2\n", ErrorCode::kRange, 2},             // negative weight
+      {"2\n0 1 4294967297\n", ErrorCode::kRange, 2},     // weight > 2^32
+      // kOverflow paths
+      {"99999999999999999999\n", ErrorCode::kOverflow, 1},    // header overflow
+      {"3\n99999999999999999999 1\n", ErrorCode::kOverflow, 2},
+      {"3\n0 1 99999999999999999999\n", ErrorCode::kOverflow, 2},
+  };
+  for (const Case& c : corpus) {
+    const Expected<WeightedGraph> got = parse(c.text);
+    ASSERT_FALSE(got.has_value()) << "corpus entry accepted: " << c.text;
+    EXPECT_EQ(got.error().code, c.code) << c.text << " -> " << got.error().to_string();
+    EXPECT_EQ(got.error().line, c.line) << c.text << " -> " << got.error().to_string();
+  }
+  // kIo: the only non-parse code, reached via the file entry point.
+  EXPECT_EQ(try_read_edge_list_file("/nonexistent/graph.txt").error().code, ErrorCode::kIo);
+}
+
 TEST(Ingestion, LegacyThrowingReaderStillThrows) {
   std::istringstream in("3\n0 1 -3\n");
   EXPECT_THROW((void)read_edge_list(in), invariant_error);

@@ -300,6 +300,247 @@ TEST(ReliableChannel, CrashRestartRecoversFromCheckpoint) {
   EXPECT_TRUE(log_has(model, FaultKind::kRecovery));
 }
 
+fault::ReliableConfig gbn_config() {
+  fault::ReliableConfig cfg;
+  cfg.mode = fault::ArqMode::kGoBackN;
+  return cfg;
+}
+
+/// Expected total backoff: one charge of min(2^{k-1}, cap) per stalled
+/// attempt k = 1..stalls (both ARQ modes share the schedule).
+std::int64_t expected_backoff(std::int64_t stalls, std::int64_t cap) {
+  std::int64_t total = 0;
+  for (std::int64_t k = 1; k <= stalls; ++k)
+    total += std::min(std::int64_t{1} << std::min<std::int64_t>(k - 1, 30), cap);
+  return total;
+}
+
+TEST(ReliableChannelGbn, DeliversFaultFreeTranscriptUnderLoss) {
+  const WeightedGraph g = grid_graph(4, 4);
+  CongestNetwork clean(g);
+  const auto reference = flood_transcript(clean, 5);
+
+  for (const double p : {0.01, 0.1, 0.3}) {
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.drop_p = p;
+    plan.dup_p = p / 2;
+    plan.corrupt_p = p / 2;
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model, gbn_config());
+    const auto got = flood_transcript(net, 5);
+    EXPECT_EQ(got, reference) << "p=" << p;
+    net.drain();
+    EXPECT_EQ(net.in_flight(), 0) << "drain must retire the whole journal at p=" << p;
+  }
+}
+
+TEST(ReliableChannelGbn, ZeroLossIsBitIdenticalToPlainSimulator) {
+  const WeightedGraph g = grid_graph(4, 4);
+  CongestNetwork plain(g);
+  const auto reference = flood_transcript(plain, 5);
+
+  FaultModel model(g, FaultPlan{});  // all-zero plan
+  ReliableChannel net(g, &model, gbn_config());
+  const auto got = flood_transcript(net, 5);
+  net.drain();
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(net.rounds(), plain.rounds());
+  EXPECT_EQ(net.stats().physical_rounds, 0);
+  EXPECT_EQ(net.stats().piggybacked_acks, 0);
+  EXPECT_EQ(net.in_flight(), 0);
+}
+
+TEST(ReliableChannelGbn, CompiledBoruvkaCorrectUnderLossAndCrashes) {
+  Rng rng(43);
+  WeightedGraph g = erdos_renyi_connected(48, 0.15, rng);
+  const auto cost = random_costs(g, 17);
+  const auto base = congest::compiled_boruvka(g, cost);
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_p = 0.1;
+  plan.crash_p = 0.3;
+  plan.crash_down_rounds = 2;
+  plan.first_faulty_round = 30;
+  plan.last_faulty_round = 44;  // a lossy burst with crashes mid-run
+  FaultModel model(g, plan);
+  ReliableChannel net(g, &model, gbn_config());
+  const auto res = congest::compiled_boruvka(net, cost);
+  net.drain();
+
+  EXPECT_EQ(res.tree, base.tree);
+  EXPECT_EQ(res.ma_rounds, base.ma_rounds);
+  EXPECT_GT(net.stats().piggybacked_acks, 0) << "ACKs must ride free slots";
+  EXPECT_EQ(net.in_flight(), 0);
+}
+
+TEST(ReliableChannelGbn, SameSeedBitIdenticalAcrossRuns) {
+  const WeightedGraph g = grid_graph(5, 5);
+  const auto cost = random_costs(g, 5);
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.drop_p = 0.15;
+  plan.dup_p = 0.05;
+  plan.corrupt_p = 0.05;
+
+  auto run = [&] {
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model, gbn_config());
+    const auto res = congest::compiled_boruvka(net, cost);
+    net.drain();
+    return std::tuple{res.tree, res.congest_rounds, model.log_to_string(),
+                      net.stats().physical_rounds, net.stats().piggybacked_acks,
+                      net.stats().ack_flush_rounds};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ReliableChannelGbn, CheaperThanStopAndWaitAtLowLoss) {
+  // The E19 headline claim in miniature: at p = .01 the 2-round acceptance
+  // cycle (+ drain) must charge substantially fewer rounds than the
+  // 3-round stop-and-wait triple. Deterministic seed, so a stable margin.
+  const WeightedGraph g = grid_graph(4, 4);
+  FaultPlan plan;
+  plan.seed = 19;
+  plan.drop_p = 0.01;
+
+  FaultModel sw_model(g, plan);
+  ReliableChannel sw(g, &sw_model);
+  (void)flood_transcript(sw, 30);
+  const std::int64_t sw_rounds = sw.stats().physical_rounds + sw.stats().backoff_rounds;
+
+  FaultModel gbn_model(g, plan);
+  ReliableChannel gbn(g, &gbn_model, gbn_config());
+  (void)flood_transcript(gbn, 30);
+  gbn.drain();
+  const std::int64_t gbn_rounds = gbn.stats().physical_rounds + gbn.stats().backoff_rounds;
+
+  EXPECT_LT(gbn_rounds, sw_rounds);
+  EXPECT_GE(sw_rounds * 10, gbn_rounds * 14) << "expected >= 1.4x fewer charged rounds";
+}
+
+TEST(ReliableChannel, LostFinalAckOnLastLogicalRound) {
+  // Drop exactly the ACK physical round of the only logical round
+  // (DATA=0, CTRL=1, ACK=2). The receiver has accepted; the sender must
+  // retry, the receiver must dedup the re-sent DATA and re-acknowledge,
+  // and the message still delivers exactly once.
+  const WeightedGraph g = path_graph(2);
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drop_p = 0.999;
+  plan.first_faulty_round = 2;
+  plan.last_faulty_round = 2;
+  FaultModel model(g, plan);
+  ReliableChannel net(g, &model);
+  net.send(0, 0, 42, 7);
+  net.end_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].payload, 42);
+  EXPECT_EQ(net.inbox(1)[0].aux, 7);
+  // Attempt 1 (rounds 0-2, ACK lost), backoff 1 round, attempt 2 (rounds 4-6).
+  EXPECT_EQ(net.stats().physical_rounds, 6);
+  EXPECT_EQ(net.stats().retransmissions, 1);
+  EXPECT_EQ(net.stats().backoff_rounds, 1);
+  EXPECT_GT(model.stats().drops, 0);
+}
+
+TEST(ReliableChannelGbn, LostFinalAckIsFlushedByDrain) {
+  // GBN accepts in 2 rounds (DATA=0, CTRL=1); the journal-retiring ACK has
+  // no later logical round to ride, so it is drain()'s job — and the first
+  // flush round (2) is exactly the one the plan eats.
+  const WeightedGraph g = path_graph(2);
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drop_p = 0.999;
+  plan.first_faulty_round = 2;
+  plan.last_faulty_round = 2;
+  FaultModel model(g, plan);
+  ReliableChannel net(g, &model, gbn_config());
+  net.send(0, 0, 42, 7);
+  net.end_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.stats().physical_rounds, 2);
+  EXPECT_EQ(net.in_flight(), 1) << "accepted but unretired until drained";
+  net.drain();
+  EXPECT_EQ(net.in_flight(), 0);
+  // Flush round 2 dropped, backoff 1 round, flush round 4 retires.
+  EXPECT_EQ(net.stats().ack_flush_rounds, 2);
+  EXPECT_EQ(net.stats().backoff_rounds, 1);
+}
+
+TEST(ReliableChannel, DuplicateOnlyPlanDeliversExactlyOnce) {
+  // A wire that duplicates everything (but drops/corrupts nothing) must
+  // cost the fault-free attempt count in both modes: duplicates are
+  // deduplicated by sequence number, never retried.
+  const WeightedGraph g = grid_graph(3, 3);
+  CongestNetwork clean(g);
+  const auto reference = flood_transcript(clean, 4);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.dup_p = 1.0;
+  {
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model);
+    EXPECT_EQ(flood_transcript(net, 4), reference);
+    EXPECT_EQ(net.stats().physical_rounds, 3 * 4);  // one triple per round
+    EXPECT_EQ(net.stats().retransmissions, 0);
+    EXPECT_GT(model.stats().duplicates, 0);
+  }
+  {
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model, gbn_config());
+    EXPECT_EQ(flood_transcript(net, 4), reference);
+    net.drain();
+    EXPECT_EQ(net.stats().physical_rounds, 2 * 4 + net.stats().ack_flush_rounds);
+    EXPECT_EQ(net.stats().retransmissions, 0);
+    EXPECT_EQ(net.stats().stalled_cycles, 0);
+    EXPECT_EQ(net.in_flight(), 0);
+  }
+}
+
+TEST(ReliableChannel, BackoffSaturatesAtConfiguredCap) {
+  // Total loss until round 40: every attempt stalls, and the exponential
+  // backoff must clamp at max_backoff_rounds instead of doubling forever.
+  const WeightedGraph g = path_graph(2);
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drop_p = 0.999;
+  plan.first_faulty_round = 0;
+  plan.last_faulty_round = 40;
+  fault::ReliableConfig cfg;
+  cfg.max_backoff_rounds = 4;
+  {
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model, cfg);
+    net.send(0, 0, 42);
+    net.end_round();
+    ASSERT_EQ(net.inbox(1).size(), 1u);
+    // One message: retransmission count == stalled attempts.
+    const std::int64_t stalls = net.stats().retransmissions;
+    EXPECT_GE(stalls, 4) << "plan must be lossy long enough to saturate";
+    EXPECT_EQ(net.stats().backoff_rounds, expected_backoff(stalls, 4));
+    EXPECT_LT(net.stats().backoff_rounds, (std::int64_t{1} << stalls) - 1)
+        << "uncapped doubling would have charged more";
+  }
+  {
+    fault::ReliableConfig gcfg = cfg;
+    gcfg.mode = fault::ArqMode::kGoBackN;
+    FaultModel model(g, plan);
+    ReliableChannel net(g, &model, gcfg);
+    net.send(0, 0, 42);
+    net.end_round();
+    ASSERT_EQ(net.inbox(1).size(), 1u);
+    const std::int64_t stalls = net.stats().stalled_cycles;
+    EXPECT_GE(stalls, 4);
+    EXPECT_EQ(net.stats().backoff_rounds, expected_backoff(stalls, 4));
+    net.drain();
+    EXPECT_EQ(net.in_flight(), 0);
+  }
+}
+
 TEST(ReliableChannel, UnreliableNetworkUnderLossIsDetected) {
   // Without the reliability compilation, seeded loss corrupts the compiled
   // execution and the simulator's invariant checks catch it loudly.

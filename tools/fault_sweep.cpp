@@ -1,0 +1,72 @@
+// fault_sweep — CLI driver for the differential fault sweep.
+//
+// Runs the SolveSupervisor over the generator × fault-plan × ladder-tier
+// matrix (src/fault/sweep.hpp), audits every answer against the fault-free
+// Stoer–Wagner oracle, and prints the per-plan tier-hit table plus a
+// machine-readable JSON record. Exit status is the audit: 0 when the matrix
+// produced zero silent wrong answers, 1 otherwise — which is what the CI
+// nightly job gates on.
+//
+// Usage: fault_sweep [--extended] [--seed N] [--threads N] [--json]
+//   --extended   nightly matrix: every fault kind at every p, larger graphs
+//   --seed N     base seed for generators, plans, and packings (default 1)
+//   --threads N  thread width of each supervised solve (default 1)
+//   --json       print ONLY the JSON record (for artifact collection)
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "fault/sweep.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--extended] [--seed N] [--threads N] [--json]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  umc::fault::SweepConfig cfg;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--extended") {
+      cfg.extended = true;
+    } else if (arg == "--json") {
+      json_only = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cfg.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cfg.num_threads = std::atoi(argv[++i]);
+      if (cfg.num_threads < 1) return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const umc::fault::SweepSummary summary = umc::fault::run_fault_sweep(cfg);
+  if (json_only) {
+    std::cout << summary.to_json() << '\n';
+  } else {
+    std::cout << (cfg.extended ? "extended" : "standard") << " fault sweep, seed " << cfg.seed
+              << ":\n"
+              << summary.table()
+              << "retries=" << summary.total_retries
+              << " tier_falls=" << summary.total_tier_falls
+              << " checkpoint_replays=" << summary.total_checkpoint_replays << '\n';
+  }
+  if (summary.silent_wrong != 0) {
+    std::cerr << "FAIL: " << summary.silent_wrong << " silent wrong answer(s)\n";
+    for (const umc::fault::SweepOutcome& o : summary.outcomes)
+      if (o.silent_wrong)
+        std::cerr << "  " << o.generator << " x " << o.plan << " x " << to_string(o.entry_tier)
+                  << ": value " << o.value << " vs oracle " << o.oracle << '\n';
+    return 1;
+  }
+  return 0;
+}
