@@ -32,19 +32,17 @@
 #include <sstream>
 #include <string>
 
-#include "baseline/stoer_wagner.hpp"
 #include "congest/compile.hpp"
 #include "congest/compiled_network.hpp"
 #include "fault/reliable_channel.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
-#include "graph/properties.hpp"
-#include "mincut/exact_mincut.hpp"
 #include "mincut/witness.hpp"
 #include "obs/export.hpp"
 #include "obs/ledger_bridge.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "server/engine.hpp"
 #include "tree/spanning.hpp"
 #include "util/rng.hpp"
 
@@ -142,7 +140,9 @@ int main(int argc, char** argv) {
     write_edge_list(os, g);
     std::printf("no input file; demo network:\n%s\n", os.str().c_str());
   } else {
-    Expected<WeightedGraph> parsed = try_read_edge_list_file(opt.path);
+    // Ingestion through the service engine's load dispatch — the same parse
+    // the daemon's LOAD handler runs (src/server/engine.hpp).
+    Expected<WeightedGraph> parsed = server::load_graph_file(opt.path);
     if (!parsed) {
       std::fprintf(stderr, "error reading %s: %s\n", opt.path.c_str(),
                    parsed.error().to_string().c_str());
@@ -150,20 +150,21 @@ int main(int argc, char** argv) {
     }
     g = std::move(parsed.value());
   }
-  if (g.n() < 2 || !is_connected(g)) {
-    std::fprintf(stderr, "error: the graph must be connected with >= 2 nodes\n");
+  if (const char* why = server::validate_graph(g)) {
+    std::fprintf(stderr, "error: %s\n", why);
     return 2;
   }
 
   if (!opt.trace_path.empty()) obs::Tracer::global().set_enabled(true);
 
-  minoragg::Ledger ledger;
-  mincut::GuardConfig guard;
-  guard.self_check = opt.self_check;
-  guard.packing.max_trees = opt.max_trees;
-  const mincut::GuardedMinCutResult cut =
-      mincut::exact_mincut_guarded(g, opt.seed, ledger, guard);
-  const Weight reference = baseline::stoer_wagner(g).value;
+  server::LocalSolveOptions solve_opt;
+  solve_opt.seed = opt.seed;
+  solve_opt.max_trees = opt.max_trees;
+  solve_opt.self_check = opt.self_check;
+  server::LocalSolveOutcome outcome = server::run_local_solve(g, solve_opt);
+  const mincut::GuardedMinCutResult& cut = outcome.guarded;
+  minoragg::Ledger& ledger = outcome.ledger;
+  const Weight reference = outcome.oracle;
 
   if (opt.self_check || cut.diagnosis.used_fallback)
     std::printf("self-check: %s\n", cut.diagnosis.to_string().c_str());

@@ -139,10 +139,17 @@ void greedy_pack(const WeightedGraph& g, std::span<const Weight> multiplicity, i
   }
 }
 
+/// The cache a config resolves to: its session-scoped instance when set,
+/// the process-wide one otherwise.
+PackingCache& cache_for(const PackingConfig& config) {
+  return config.cache != nullptr ? *config.cache : PackingCache::global();
+}
+
 /// Folds every config field the producer branches on into the cache key.
-/// chunk_min_edges is deliberately absent: chunk granularity cannot change
-/// any output, so packings computed at different granularities are
-/// interchangeable (see PackingConfig).
+/// chunk_min_edges and the cache pointer are deliberately absent: chunk
+/// granularity cannot change any output, and the pointer selects where
+/// entries live, not what they contain — packings computed under either
+/// are interchangeable (see PackingConfig).
 std::uint64_t config_fingerprint(const PackingConfig& config) {
   std::uint64_t h = 0x7061636b636667ULL;  // "packcfg"
   h = mix64(h ^ std::bit_cast<std::uint64_t>(config.sample_c));
@@ -395,7 +402,7 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     key.graph_fp = graph_fingerprint(g);
     key.config_fp = config_fingerprint(config);
     key.rng_state = rng.state();
-    if (const std::shared_ptr<const PackingEntry> hit = PackingCache::global().lookup(key)) {
+    if (const std::shared_ptr<const PackingEntry> hit = cache_for(config).lookup(key)) {
       // Replay: same trees in the same order, same charges, same generator
       // exit state — indistinguishable from a recompute, at output cost.
 #if !defined(UMC_OBS_DISABLED)
@@ -428,7 +435,7 @@ TreePacking tree_packing(const WeightedGraph& g, Rng& rng, minoragg::Ledger& led
     entry->sampled = out.sampled;
     entry->charges = pack_ledger;
     entry->rng_after = rng.state();
-    PackingCache::global().insert(key, std::move(entry));
+    cache_for(config).insert(key, std::move(entry));
   } else {
     out = pack_uncached(g, rng, pack_ledger, config, sink);
   }
@@ -453,7 +460,7 @@ TreePacking tree_packing_resumable(const WeightedGraph& g, Rng& rng, minoragg::L
     ckpt.config_fp = key.config_fp;
     ckpt.rng_entry = key.rng_state;
     if (config.use_cache) {
-      if (const std::shared_ptr<const PackingEntry> hit = PackingCache::global().lookup(key)) {
+      if (const std::shared_ptr<const PackingEntry> hit = cache_for(config).lookup(key)) {
         // Full replay from the cache — strictly better than any journal.
 #if !defined(UMC_OBS_DISABLED)
         packing_metrics().cache_hits.inc();
@@ -489,7 +496,7 @@ TreePacking tree_packing_resumable(const WeightedGraph& g, Rng& rng, minoragg::L
     entry->sampled = out.sampled;
     entry->charges = pack_ledger;
     entry->rng_after = rng.state();
-    PackingCache::global().insert(key, std::move(entry));
+    cache_for(config).insert(key, std::move(entry));
   }
   ledger.charge_sequential(pack_ledger);
   return out;

@@ -24,6 +24,8 @@
 
 namespace umc::mincut {
 
+class PackingCache;
+
 struct PackingConfig {
   /// Sampling constant C in p = C*log2(n)/lambda.
   double sample_c = 2.0;
@@ -54,6 +56,14 @@ struct PackingConfig {
   /// fingerprint. Tests lower it to force multi-chunk folds on small
   /// graphs; the default keeps tiny folds inline.
   int chunk_min_edges = 2048;
+  /// The PackingCache consulted when `use_cache` is on: nullptr (the
+  /// default) means the process-wide PackingCache::global(). A multi-tenant
+  /// server points this at the tenant Session's private cache so one
+  /// tenant's packings can neither evict nor be observed by another's
+  /// (src/server). Like chunk_min_edges, the pointer is EXCLUDED from the
+  /// cache fingerprint: it selects WHERE entries live, not what they
+  /// contain.
+  PackingCache* cache = nullptr;
 };
 
 struct TreePacking {

@@ -1,0 +1,336 @@
+#include "server/protocol.hpp"
+
+#include <charconv>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "graph/io.hpp"
+
+namespace umc::server {
+
+namespace {
+
+/// Strict full-token integer parse (no sign unless the range allows it, no
+/// trailing junk) into [lo, hi].
+template <typename T>
+bool parse_int(std::string_view tok, long long lo, long long hi, T& out) {
+  long long v = 0;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || v < lo || v > hi) return false;
+  out = static_cast<T>(v);
+  return true;
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t& out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool valid_tenant(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+Error protocol_error(std::string message) {
+  return Error{ErrorCode::kParse, std::move(message), 0};
+}
+
+/// Splits `key=value`; false when there is no '='.
+bool split_kv(std::string_view tok, std::string_view& key, std::string_view& value) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = tok.substr(0, eq);
+  value = tok.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+FrameStatus read_frame(std::istream& in, std::string& payload, Error& err) {
+  char len_bytes[4];
+  in.read(len_bytes, 4);
+  const std::streamsize got = in.gcount();
+  if (got == 0) return FrameStatus::kEof;  // clean boundary
+  if (got < 4) {
+    err = protocol_error("truncated frame: " + std::to_string(got) +
+                         " byte(s) of the 4-byte length prefix");
+    return FrameStatus::kError;
+  }
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i)
+    len = (len << 8) | static_cast<std::uint8_t>(len_bytes[i]);
+  if (len > kMaxFrameBytes) {
+    err = Error{ErrorCode::kRange,
+                "oversized frame: " + std::to_string(len) + " bytes (max " +
+                    std::to_string(kMaxFrameBytes) + ")",
+                0};
+    return FrameStatus::kError;
+  }
+  payload.resize(len);
+  if (len > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) {
+      err = protocol_error("truncated frame: " + std::to_string(in.gcount()) + " of " +
+                           std::to_string(len) + " payload byte(s)");
+      return FrameStatus::kError;
+    }
+  }
+  return FrameStatus::kFrame;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  UMC_ASSERT(payload.size() <= kMaxFrameBytes);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const char len_bytes[4] = {
+      static_cast<char>(len & 0xff),
+      static_cast<char>((len >> 8) & 0xff),
+      static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 24) & 0xff),
+  };
+  out.write(len_bytes, 4);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kLoad: return "LOAD";
+    case Op::kMutate: return "MUTATE";
+    case Op::kSolve: return "SOLVE";
+    case Op::kStats: return "STATS";
+    case Op::kEvict: return "EVICT";
+    case Op::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char* to_string(ErrCode code) {
+  switch (code) {
+    case ErrCode::kBadFrame: return "BAD_FRAME";
+    case ErrCode::kBadCommand: return "BAD_COMMAND";
+    case ErrCode::kNoSession: return "NO_SESSION";
+    case ErrCode::kBadGraph: return "BAD_GRAPH";
+    case ErrCode::kBadMutation: return "BAD_MUTATION";
+    case ErrCode::kQueueFull: return "QUEUE_FULL";
+    case ErrCode::kTenantOverload: return "TENANT_OVERLOAD";
+    case ErrCode::kTenantBusy: return "TENANT_BUSY";
+    case ErrCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+std::string Request::serialize() const {
+  std::ostringstream os;
+  os << to_string(op);
+  if (!tenant.empty()) os << ' ' << tenant;
+  if (op == Op::kMutate) os << ' ' << edge << ' ' << new_weight;
+  if (id != 0) os << " id=" << id;
+  if (op == Op::kLoad && weight != 1) os << " weight=" << weight;
+  if (op == Op::kSolve) {
+    if (has_seed) os << " seed=" << seed;
+    if (max_trees != 0) os << " trees=" << max_trees;
+  }
+  if (op == Op::kStats && stats_prometheus) os << " prom";
+  if (!body.empty()) os << '\n' << body;
+  return os.str();
+}
+
+Expected<Request> parse_request(std::string_view payload) {
+  const std::size_t nl = payload.find('\n');
+  const std::string_view header = payload.substr(0, nl);
+  const std::string_view body =
+      nl == std::string_view::npos ? std::string_view{} : payload.substr(nl + 1);
+
+  const std::vector<std::string_view> toks = split_tokens(header);
+  if (toks.empty()) return protocol_error("empty request header");
+
+  Request req;
+  std::size_t next = 1;
+  const std::string_view op = toks[0];
+  if (op == "LOAD") {
+    req.op = Op::kLoad;
+  } else if (op == "MUTATE") {
+    req.op = Op::kMutate;
+  } else if (op == "SOLVE") {
+    req.op = Op::kSolve;
+  } else if (op == "STATS") {
+    req.op = Op::kStats;
+  } else if (op == "EVICT") {
+    req.op = Op::kEvict;
+  } else if (op == "SHUTDOWN") {
+    req.op = Op::kShutdown;
+  } else {
+    return protocol_error("unknown op '" + std::string(op) + "'");
+  }
+
+  const bool wants_tenant = req.op == Op::kLoad || req.op == Op::kMutate ||
+                            req.op == Op::kSolve || req.op == Op::kEvict;
+  if (wants_tenant) {
+    if (toks.size() < 2) return protocol_error(std::string(op) + " needs a tenant");
+    if (!valid_tenant(toks[1]))
+      return protocol_error("bad tenant name '" + std::string(toks[1]) + "'");
+    req.tenant = std::string(toks[1]);
+    next = 2;
+  }
+  if (req.op == Op::kMutate) {
+    if (toks.size() < 4) return protocol_error("MUTATE needs <edge> <new-weight>");
+    if (!parse_int(toks[2], 0, (1LL << 31) - 1, req.edge))
+      return protocol_error("bad MUTATE edge id '" + std::string(toks[2]) + "'");
+    if (!parse_int(toks[3], 1, kMaxEdgeWeight, req.new_weight))
+      return Error{ErrorCode::kRange,
+                   "bad MUTATE weight '" + std::string(toks[3]) + "' (must be in [1, 2^32])", 0};
+    next = 4;
+  }
+
+  for (std::size_t i = next; i < toks.size(); ++i) {
+    std::string_view key, value;
+    if (req.op == Op::kStats && toks[i] == "prom") {
+      req.stats_prometheus = true;
+      continue;
+    }
+    if (!split_kv(toks[i], key, value))
+      return protocol_error("bad request option '" + std::string(toks[i]) + "'");
+    if (key == "id") {
+      if (!parse_int(value, 0, (1LL << 62), req.id))
+        return protocol_error("bad id '" + std::string(value) + "'");
+    } else if (key == "weight" && req.op == Op::kLoad) {
+      if (!parse_int(value, 1, 1000, req.weight))
+        return Error{ErrorCode::kRange,
+                     "bad weight '" + std::string(value) + "' (must be in [1, 1000])", 0};
+    } else if (key == "seed" && req.op == Op::kSolve) {
+      if (!parse_u64(value, req.seed))
+        return protocol_error("bad seed '" + std::string(value) + "'");
+      req.has_seed = true;
+    } else if (key == "trees" && req.op == Op::kSolve) {
+      if (!parse_int(value, 1, 1 << 20, req.max_trees))
+        return Error{ErrorCode::kRange,
+                     "bad trees '" + std::string(value) + "' (must be in [1, 2^20])", 0};
+    } else {
+      return protocol_error("unknown option '" + std::string(key) + "' for " +
+                            std::string(op));
+    }
+  }
+
+  if (req.op == Op::kLoad) {
+    if (body.empty()) return protocol_error("LOAD needs an edge-list body");
+    req.body = std::string(body);
+  } else if (!body.empty()) {
+    return protocol_error(std::string(op) + " does not take a body");
+  }
+  return req;
+}
+
+std::string Response::serialize() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "OK " << op << " id=" << id;
+    for (const auto& [key, value] : fields) os << ' ' << key << '=' << value;
+  } else {
+    os << "ERR " << error_code << " id=" << id << ' ' << message;
+  }
+  if (!body.empty()) os << '\n' << body;
+  return os.str();
+}
+
+std::int64_t Response::field_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  std::int64_t v = fallback;
+  if (!parse_int(it->second, std::numeric_limits<std::int64_t>::min() / 2,
+                 std::numeric_limits<std::int64_t>::max() / 2, v))
+    return fallback;
+  return v;
+}
+
+Response ok_response(Op op, std::int64_t id) {
+  Response r;
+  r.ok = true;
+  r.op = to_string(op);
+  r.id = id;
+  return r;
+}
+
+Response err_response(ErrCode code, std::int64_t id, std::string message) {
+  Response r;
+  r.ok = false;
+  r.error_code = to_string(code);
+  r.id = id;
+  r.message = std::move(message);
+  return r;
+}
+
+Expected<Response> parse_response(std::string_view payload) {
+  const std::size_t nl = payload.find('\n');
+  const std::string_view header = payload.substr(0, nl);
+  Response resp;
+  resp.body = nl == std::string_view::npos ? std::string{} : std::string(payload.substr(nl + 1));
+
+  const std::vector<std::string_view> toks = split_tokens(header);
+  if (toks.size() < 2) return protocol_error("short response header");
+  if (toks[0] == "OK") {
+    resp.ok = true;
+    resp.op = std::string(toks[1]);
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+      std::string_view key, value;
+      if (!split_kv(toks[i], key, value))
+        return protocol_error("bad response field '" + std::string(toks[i]) + "'");
+      if (key == "id") {
+        if (!parse_int(value, 0, (1LL << 62), resp.id))
+          return protocol_error("bad response id '" + std::string(value) + "'");
+      } else {
+        resp.fields.emplace(std::string(key), std::string(value));
+      }
+    }
+    return resp;
+  }
+  if (toks[0] == "ERR") {
+    resp.ok = false;
+    resp.error_code = std::string(toks[1]);
+    std::size_t i = 2;
+    if (i < toks.size()) {
+      std::string_view key, value;
+      if (split_kv(toks[i], key, value) && key == "id") {
+        if (!parse_int(value, 0, (1LL << 62), resp.id))
+          return protocol_error("bad response id '" + std::string(value) + "'");
+        ++i;
+      }
+    }
+    // The message is the rest of the header verbatim (it may contain '=').
+    std::string message;
+    for (; i < toks.size(); ++i) {
+      if (!message.empty()) message += ' ';
+      message += std::string(toks[i]);
+    }
+    resp.message = std::move(message);
+    return resp;
+  }
+  return protocol_error("response header must start with OK or ERR");
+}
+
+}  // namespace umc::server

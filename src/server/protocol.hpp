@@ -1,0 +1,136 @@
+#pragma once
+
+// mincutd wire protocol: length-prefixed frames carrying line-oriented
+// request/response payloads.
+//
+// A FRAME is a 4-byte little-endian unsigned payload length followed by
+// exactly that many payload bytes (max kMaxFrameBytes). Length-prefixing —
+// rather than sentinel lines — lets LOAD carry arbitrary edge-list bodies
+// and makes truncation detectable: a short read is a framing error, never a
+// silently clipped request. Framing errors are NOT resynchronizable (a
+// corrupt length desynchronizes the byte stream), so the serve loop answers
+// one structured BAD_FRAME response and ends the connection; payload-level
+// errors (unknown op, malformed numbers) keep the stream intact and are
+// answered per-request.
+//
+// A REQUEST payload is one header line plus an optional body:
+//
+//   LOAD <tenant> [id=<n>] [weight=<w>]     body: edge-list text (graph/io)
+//   MUTATE <tenant> <edge> <new-weight> [id=<n>]
+//   SOLVE <tenant> [id=<n>] [seed=<s>] [trees=<t>]
+//   STATS [prom] [id=<n>]
+//   EVICT <tenant> [id=<n>]
+//   SHUTDOWN [id=<n>]
+//
+// `id` is an opaque client correlation token echoed in the response —
+// responses to queued requests may complete out of order across tenants.
+// Tenant names are [A-Za-z0-9_.-]{1,64}.
+//
+// A RESPONSE payload is one header line plus an optional body:
+//
+//   OK <OP> id=<n> [key=value ...]          body: op-dependent (STATS table)
+//   ERR <CODE> id=<n> <message>
+//
+// Parsing is the untrusted path: every reader returns Expected<T> and never
+// throws on malformed input (util/error.hpp). See DESIGN.md "Min-cut
+// service" for the full specification.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace umc::server {
+
+/// Frame payload ceiling (16 MiB): a LOAD of the largest supported edge
+/// list fits; anything larger is a framing error, not an allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Outcome of one read_frame call. kError means the stream is
+/// desynchronized (truncated or oversized frame) — the connection is done.
+enum class FrameStatus { kFrame, kEof, kError };
+
+/// Reads one length-prefixed frame into `payload`. kEof only at a clean
+/// frame boundary (zero bytes of a next frame read); a partial length or
+/// short payload is kError with the cause in `err`.
+[[nodiscard]] FrameStatus read_frame(std::istream& in, std::string& payload, Error& err);
+
+/// Writes one frame (length prefix + payload). The caller serializes
+/// concurrent writers; the stream is flushed so a blocked peer sees it.
+void write_frame(std::ostream& out, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+enum class Op { kLoad, kMutate, kSolve, kStats, kEvict, kShutdown };
+
+[[nodiscard]] const char* to_string(Op op);
+
+struct Request {
+  Op op = Op::kStats;
+  std::string tenant;        // empty for STATS/SHUTDOWN
+  std::int64_t id = 0;       // client correlation token, echoed back
+  std::int64_t weight = 1;   // LOAD: scheduling weight, [1, 1000]
+  std::string body;          // LOAD: edge-list text
+  EdgeId edge = kNoEdge;     // MUTATE
+  Weight new_weight = 0;     // MUTATE
+  bool has_seed = false;     // SOLVE: explicit seed given
+  std::uint64_t seed = 0;    // SOLVE
+  int max_trees = 0;         // SOLVE: 0 = engine default
+  bool stats_prometheus = false;  // STATS prom
+
+  /// Serializes back to a payload (header line + body) that parse_request
+  /// round-trips — what the load generator and script replay emit.
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Parses one request payload. Never throws; malformed input (unknown op,
+/// bad tenant name, malformed or out-of-range numbers, missing arguments,
+/// unexpected body) yields a recoverable Error.
+[[nodiscard]] Expected<Request> parse_request(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+/// Structured rejection codes (the ERR header token).
+enum class ErrCode {
+  kBadFrame,      // framing violated: truncated or oversized frame
+  kBadCommand,    // request payload failed to parse
+  kNoSession,     // tenant has no loaded session
+  kBadGraph,      // LOAD body rejected (parse error / not connected)
+  kBadMutation,   // MUTATE edge id or weight out of range
+  kQueueFull,     // global admission queue at capacity
+  kTenantOverload,  // this tenant's queue at capacity
+  kTenantBusy,    // EVICT refused: tenant has queued or running work
+  kShuttingDown,  // daemon is draining; no new admissions
+  kInternal,      // unexpected server-side failure
+};
+
+[[nodiscard]] const char* to_string(ErrCode code);
+
+struct Response {
+  bool ok = true;
+  std::string op;          // OK: echoed op token
+  std::string error_code;  // ERR: code token
+  std::string message;     // ERR: human-readable cause
+  std::int64_t id = 0;
+  /// OK header key=value fields (SOLVE: value, tier, certified, ...).
+  std::map<std::string, std::string> fields;
+  std::string body;  // STATS: session table or Prometheus text
+
+  [[nodiscard]] std::string serialize() const;
+  /// Convenience: integer field lookup with a fallback.
+  [[nodiscard]] std::int64_t field_int(const std::string& key, std::int64_t fallback = 0) const;
+};
+
+[[nodiscard]] Response ok_response(Op op, std::int64_t id);
+[[nodiscard]] Response err_response(ErrCode code, std::int64_t id, std::string message);
+
+/// Parses one response payload (the load generator's half of the wire).
+[[nodiscard]] Expected<Response> parse_response(std::string_view payload);
+
+}  // namespace umc::server

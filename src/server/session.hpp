@@ -1,0 +1,58 @@
+#pragma once
+
+// Session — the resident per-tenant state of the min-cut service.
+//
+// What the one-shot CLI rebuilt per process, a session keeps warm across
+// requests: the loaded graph, a PRIVATE PackingCache (tree packings survive
+// between solves of the same graph+seed — the "millions of users" reuse the
+// ROADMAP's service item calls for, without cross-tenant eviction or
+// observation), the tenant's deterministic rng stream (SOLVE without an
+// explicit seed draws from it, so a replayed request script is
+// reproducible), and the scheduling weight. Solve scratch (ScratchLease
+// arenas, util/scratch.hpp) is deliberately NOT per-session: arenas are
+// per-worker-thread and already survive across every request a worker
+// executes, whichever tenant it belongs to.
+//
+// Sessions are owned by the Engine behind its session mutex; request
+// execution on a session is serialized by the scheduler's per-tenant
+// in-flight cap of 1, so the mutable members need no lock of their own.
+// `lru_tick` orders sessions for capacity eviction (engine.cpp).
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "mincut/packing_cache.hpp"
+#include "util/rng.hpp"
+
+namespace umc::server {
+
+struct Session {
+  explicit Session(std::string tenant_name, std::uint64_t rng_seed)
+      : tenant(std::move(tenant_name)), rng(rng_seed) {}
+
+  std::string tenant;
+  WeightedGraph graph;
+  bool loaded = false;
+
+  /// Session-scoped packing reuse: plumbed into every solve through
+  /// PackingConfig::cache (src/mincut/tree_packing.hpp).
+  mincut::PackingCache cache;
+
+  /// Deterministic per-tenant seed stream for SOLVEs without explicit seed.
+  Rng rng;
+
+  /// Weighted-fair scheduling weight (LOAD weight=..., default 1).
+  std::int64_t weight = 1;
+
+  // Lifetime counters, reported by STATS and the SOLVE response.
+  std::int64_t loads = 0;
+  std::int64_t mutates = 0;
+  std::int64_t solves = 0;
+
+  /// Engine LRU clock value of the most recent request touching this
+  /// session (eviction order).
+  std::uint64_t lru_tick = 0;
+};
+
+}  // namespace umc::server

@@ -1,0 +1,718 @@
+// mincut_loadgen — deterministic mixed-tenant replay harness for mincutd.
+//
+// Two modes:
+//
+//   --gen --script out.script [--tenants T] [--requests R] [--seed S]
+//       Generates a deterministic interleaved LOAD/MUTATE/SOLVE/STATS
+//       workload across T tenants (explicit seeds everywhere, so the script
+//       is a pure function of its parameters) and writes it as a text
+//       script. Re-running with the same parameters reproduces the file
+//       byte-for-byte.
+//
+//   --script in.script --daemon path/to/mincutd [--daemon-arg A ...]
+//           [--window W] [--json out.json]
+//       Spawns mincutd on a stdin/stdout pipe pair and replays the script
+//       with up to W requests in flight. Every SOLVE answer is
+//       DIFFERENTIALLY AUDITED: the harness maintains its own mirror of
+//       each tenant's graph (applying the script's LOADs and MUTATEs) and
+//       checks the daemon's value against an independent Stoer–Wagner
+//       oracle computed at send time — the per-tenant FIFO admission
+//       contract is what makes the send-time oracle the right expectation.
+//       Exit code 1 on any audit mismatch, uncertified or degraded answer,
+//       or error response.
+//
+// Script format: a preamble of '#' comment lines, then one record per
+// request — a line containing exactly "%%" followed by the request payload
+// (header line + optional LOAD body) verbatim.
+//
+// --json writes BENCH_mincutd.json (bench schema v2, like bench_main.cpp):
+// one run whose counters carry the deterministic audit quantities CI gates
+// (requests, solves, audit_mismatches, value_checksum, per-tenant
+// cache-hit totals proving session reuse) and the wall-clock measurements
+// (p50/p99 latency, throughput) that are reported but never gated.
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/stoer_wagner.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "server/protocol.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace umc;
+using server::Op;
+using server::Request;
+using server::Response;
+
+// ---------------------------------------------------------------------------
+// Options.
+
+struct Options {
+  bool gen = false;
+  std::string script_path;
+  std::string daemon_path;
+  std::vector<std::string> daemon_args;
+  std::string json_path;
+  int tenants = 4;
+  int requests = 1000;
+  std::uint64_t seed = 42;
+  int window = 16;
+};
+
+bool parse_flag_int(const char* tok, long long lo, long long hi, long long& out) {
+  const char* last = tok + std::strlen(tok);
+  const auto [ptr, ec] = std::from_chars(tok, last, out);
+  return ec == std::errc{} && ptr == last && out >= lo && out <= hi;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mincut_loadgen --gen --script out.script [--tenants T] [--requests R]"
+               " [--seed S]\n"
+               "       mincut_loadgen --script in.script --daemon mincutd [--daemon-arg A ...]\n"
+               "                      [--window W] [--json out.json]\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto next_value = [&](std::string& v) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", a);
+        return false;
+      }
+      v = argv[++i];
+      return true;
+    };
+    const auto int_value = [&](long long lo, long long hi, long long& n) {
+      std::string v;
+      if (!next_value(v)) return false;
+      if (!parse_flag_int(v.c_str(), lo, hi, n)) {
+        std::fprintf(stderr, "error: bad %s value '%s'\n", a, v.c_str());
+        return false;
+      }
+      return true;
+    };
+    long long n = 0;
+    if (std::strcmp(a, "--gen") == 0) {
+      opt.gen = true;
+    } else if (std::strcmp(a, "--script") == 0) {
+      if (!next_value(opt.script_path)) return false;
+    } else if (std::strcmp(a, "--daemon") == 0) {
+      if (!next_value(opt.daemon_path)) return false;
+    } else if (std::strcmp(a, "--daemon-arg") == 0) {
+      std::string v;
+      if (!next_value(v)) return false;
+      opt.daemon_args.push_back(std::move(v));
+    } else if (std::strcmp(a, "--json") == 0) {
+      if (!next_value(opt.json_path)) return false;
+    } else if (std::strcmp(a, "--tenants") == 0) {
+      if (!int_value(1, 64, n)) return false;
+      opt.tenants = static_cast<int>(n);
+    } else if (std::strcmp(a, "--requests") == 0) {
+      if (!int_value(1, 1 << 20, n)) return false;
+      opt.requests = static_cast<int>(n);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      if (!int_value(0, 1LL << 62, n)) return false;
+      opt.seed = static_cast<std::uint64_t>(n);
+    } else if (std::strcmp(a, "--window") == 0) {
+      if (!int_value(1, 256, n)) return false;
+      opt.window = static_cast<int>(n);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a);
+      return false;
+    }
+  }
+  if (opt.script_path.empty()) {
+    std::fprintf(stderr, "error: --script is required\n");
+    return false;
+  }
+  if (!opt.gen && opt.daemon_path.empty()) {
+    std::fprintf(stderr, "error: replay needs --daemon (or pass --gen)\n");
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Script generation.
+
+std::string graph_body(const WeightedGraph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+std::string tenant_name(std::size_t t) {
+  std::string name("t");
+  name += std::to_string(t);
+  return name;
+}
+
+WeightedGraph gen_graph(Rng& rng) {
+  const auto n = static_cast<NodeId>(12 + rng.next_below(17));  // 12..28 nodes
+  WeightedGraph g = erdos_renyi_connected(n, 0.25, rng);
+  randomize_weights(g, 1, 50, rng);
+  return g;
+}
+
+/// The generated workload: T initial LOADs, then an rng-interleaved mix of
+/// SOLVE (explicit seeds drawn from a small per-tenant pool, so repeats hit
+/// the session PackingCache), seedless SOLVE (session rng stream), MUTATE
+/// (re-weights invalidate cached packings), occasional re-LOADs (half
+/// byte-identical — fingerprint unchanged, cache survives — half fresh),
+/// and a sprinkle of STATS probes.
+std::vector<std::string> generate_requests(const Options& opt) {
+  Rng rng(opt.seed);
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(opt.requests));
+  std::vector<WeightedGraph> current(static_cast<std::size_t>(opt.tenants));
+  std::vector<std::vector<std::uint64_t>> seed_pool(static_cast<std::size_t>(opt.tenants));
+  std::int64_t id = 0;
+
+  for (int t = 0; t < opt.tenants; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    current[ti] = gen_graph(rng);
+    for (int k = 0; k < 4; ++k) seed_pool[ti].push_back(1 + rng.next_below(1u << 20));
+    Request req;
+    req.op = Op::kLoad;
+    req.tenant = tenant_name(ti);
+    req.id = ++id;
+    req.weight = (t % 4) + 1;
+    req.body = graph_body(current[ti]);
+    payloads.push_back(req.serialize());
+    if (id >= opt.requests) break;
+  }
+
+  while (id < opt.requests) {
+    const auto t = static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(opt.tenants)));
+    const std::uint64_t d = rng.next_below(100);
+    Request req;
+    req.tenant = tenant_name(t);
+    req.id = id + 1;
+    if (d < 55) {
+      req.op = Op::kSolve;
+      req.has_seed = true;
+      req.seed = seed_pool[t][rng.next_below(4)];
+    } else if (d < 70) {
+      req.op = Op::kSolve;  // session rng stream picks the seed
+    } else if (d < 90) {
+      req.op = Op::kMutate;
+      req.edge = static_cast<EdgeId>(rng.next_below(static_cast<std::uint64_t>(current[t].m())));
+      req.new_weight = rng.next_in(1, 50);
+    } else if (d < 97) {
+      req.op = Op::kLoad;
+      req.weight = (static_cast<int>(t) % 4) + 1;
+      if (rng.next_bool(0.5)) current[t] = gen_graph(rng);  // else identical body
+      req.body = graph_body(current[t]);
+    } else {
+      req.op = Op::kStats;
+      req.tenant.clear();
+    }
+    ++id;
+    payloads.push_back(req.serialize());
+  }
+  return payloads;
+}
+
+int run_gen(const Options& opt) {
+  const std::vector<std::string> payloads = generate_requests(opt);
+  std::ofstream os(opt.script_path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.script_path.c_str());
+    return 2;
+  }
+  os << "# mincut_loadgen script: tenants=" << opt.tenants << " requests=" << opt.requests
+     << " seed=" << opt.seed << "\n"
+     << "# regenerate: mincut_loadgen --gen --tenants " << opt.tenants << " --requests "
+     << opt.requests << " --seed " << opt.seed << " --script <path>\n";
+  for (const std::string& p : payloads) {
+    os << "%%\n" << p;
+    if (p.empty() || p.back() != '\n') os << '\n';
+  }
+  std::fprintf(stderr, "mincut_loadgen: wrote %zu request(s) to %s\n", payloads.size(),
+               opt.script_path.c_str());
+  return 0;
+}
+
+/// Splits a script file back into request payloads (see the format note in
+/// the header comment). The payload is everything between '%%' separator
+/// lines, minus one trailing newline.
+bool read_script(const std::string& path, std::vector<std::string>& payloads) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  std::string record;
+  bool in_record = false;
+  const auto flush = [&] {
+    if (!in_record) return;
+    if (!record.empty() && record.back() == '\n') record.pop_back();
+    payloads.push_back(record);
+    record.clear();
+  };
+  while (std::getline(is, line)) {
+    if (line == "%%") {
+      flush();
+      in_record = true;
+      continue;
+    }
+    if (in_record) {
+      record.append(line);
+      record.push_back('\n');
+    }
+  }
+  flush();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon subprocess + raw-fd framing (the client half of the wire; the
+// daemon side lives in src/server/protocol.cpp behind iostreams).
+
+struct Daemon {
+  pid_t pid = -1;
+  int wr = -1;  // our writes -> daemon stdin
+  int rd = -1;  // daemon stdout -> our reads
+};
+
+bool spawn_daemon(const Options& opt, Daemon& d) {
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+  d.pid = fork();
+  if (d.pid < 0) return false;
+  if (d.pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(opt.daemon_path.c_str()));
+    for (const std::string& a : opt.daemon_args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(opt.daemon_path.c_str(), argv.data());
+    std::perror("mincut_loadgen: execv");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  d.wr = to_child[1];
+  d.rd = from_child[0];
+  return true;
+}
+
+bool write_all(int fd, const char* buf, std::size_t len) {
+  while (len > 0) {
+    const ssize_t w = write(fd, buf, len);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf += w;
+    len -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// 1 = ok, 0 = clean EOF, -1 = error/truncation.
+int read_all(int fd, char* buf, std::size_t len, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = read(fd, buf + got, len - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 && eof_ok ? 0 : -1;
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+bool write_frame_fd(int fd, std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const char len_bytes[4] = {
+      static_cast<char>(len & 0xff),
+      static_cast<char>((len >> 8) & 0xff),
+      static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 24) & 0xff),
+  };
+  return write_all(fd, len_bytes, 4) && write_all(fd, payload.data(), payload.size());
+}
+
+int read_frame_fd(int fd, std::string& payload) {
+  char len_bytes[4];
+  const int rc = read_all(fd, len_bytes, 4, /*eof_ok=*/true);
+  if (rc <= 0) return rc;
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | static_cast<std::uint8_t>(len_bytes[i]);
+  if (len > server::kMaxFrameBytes) return -1;
+  payload.resize(len);
+  if (len > 0 && read_all(fd, payload.data(), len, /*eof_ok=*/false) != 1) return -1;
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Replay with differential audit.
+
+using Clock = std::chrono::steady_clock;
+
+struct PendingRequest {
+  Op op = Op::kStats;
+  Weight expected = 0;  // SOLVE: send-time Stoer–Wagner oracle value
+  Clock::time_point sent;
+};
+
+struct Tally {
+  std::int64_t responses_ok = 0;
+  std::int64_t responses_err = 0;
+  std::int64_t audit_mismatches = 0;
+  std::int64_t uncertified = 0;
+  std::int64_t degraded = 0;
+  std::int64_t unmatched = 0;  // response id we never sent
+  std::uint64_t value_checksum = 0;
+  std::vector<double> latencies_ms;
+  std::string last_stats_body;  // session table of the final STATS
+};
+
+int run_replay(const Options& opt) {
+  std::vector<std::string> payloads;
+  if (!read_script(opt.script_path, payloads)) {
+    std::fprintf(stderr, "error: cannot read %s\n", opt.script_path.c_str());
+    return 2;
+  }
+  if (payloads.empty()) {
+    std::fprintf(stderr, "error: %s holds no requests\n", opt.script_path.c_str());
+    return 2;
+  }
+
+  // Parse every record up front: a malformed script is a usage error, not
+  // an audit result.
+  std::vector<Request> requests;
+  requests.reserve(payloads.size());
+  std::int64_t max_id = 0;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    Expected<Request> parsed = server::parse_request(payloads[i]);
+    if (!parsed) {
+      std::fprintf(stderr, "error: script record %zu: %s\n", i + 1,
+                   parsed.error().to_string().c_str());
+      return 2;
+    }
+    max_id = std::max(max_id, parsed.value().id);
+    requests.push_back(std::move(parsed.value()));
+  }
+
+  signal(SIGPIPE, SIG_IGN);  // a dead daemon surfaces as a write error
+  Daemon daemon;
+  if (!spawn_daemon(opt, daemon)) {
+    std::fprintf(stderr, "error: cannot spawn %s\n", opt.daemon_path.c_str());
+    return 2;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::int64_t, PendingRequest> pending;
+  Tally tally;
+  const std::int64_t stats_probe_id = max_id + 1;
+
+  std::thread reader([&] {
+    std::string payload;
+    for (;;) {
+      const int rc = read_frame_fd(daemon.rd, payload);
+      if (rc <= 0) break;
+      const Clock::time_point now = Clock::now();
+      Expected<Response> parsed = server::parse_response(payload);
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!parsed) {
+        ++tally.unmatched;
+        cv.notify_all();
+        continue;
+      }
+      Response resp = std::move(parsed.value());
+      const auto it = pending.find(resp.id);
+      if (it == pending.end()) {
+        ++tally.unmatched;
+        cv.notify_all();
+        continue;
+      }
+      const PendingRequest sent = it->second;
+      pending.erase(it);
+      tally.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - sent.sent).count());
+      if (!resp.ok) {
+        ++tally.responses_err;
+        std::fprintf(stderr, "mincut_loadgen: id=%lld ERR %s %s\n",
+                     static_cast<long long>(resp.id), resp.error_code.c_str(),
+                     resp.message.c_str());
+      } else {
+        ++tally.responses_ok;
+        if (sent.op == Op::kSolve) {
+          const Weight value = resp.field_int("value", -1);
+          if (value != sent.expected) {
+            ++tally.audit_mismatches;
+            std::fprintf(stderr,
+                         "mincut_loadgen: AUDIT MISMATCH id=%lld daemon=%lld oracle=%lld\n",
+                         static_cast<long long>(resp.id), static_cast<long long>(value),
+                         static_cast<long long>(sent.expected));
+          }
+          if (resp.field_int("certified", 0) != 1) ++tally.uncertified;
+          const auto tier = resp.fields.find("tier");
+          if (tier == resp.fields.end() || tier->second != "exact") ++tally.degraded;
+          tally.value_checksum =
+              (tally.value_checksum +
+               mix64(static_cast<std::uint64_t>(resp.id) * 0x9e3779b9ULL ^
+                     static_cast<std::uint64_t>(value))) &
+              0xffffffffULL;
+        }
+        if (sent.op == Op::kStats && resp.id == stats_probe_id)
+          tally.last_stats_body = resp.body;
+      }
+      cv.notify_all();
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    // Anything still pending at EOF was swallowed by the daemon.
+    tally.unmatched += static_cast<std::int64_t>(pending.size());
+    pending.clear();
+    cv.notify_all();
+  });
+
+  // Mirror state: the harness's independent copy of every tenant's graph.
+  std::map<std::string, WeightedGraph> mirror;
+  const Clock::time_point t0 = Clock::now();
+  const std::clock_t cpu0 = std::clock();
+  bool wire_broken = false;
+
+  const auto send = [&](const Request& req, Weight expected) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return static_cast<int>(pending.size()) < opt.window; });
+      pending.emplace(req.id, PendingRequest{req.op, expected, Clock::now()});
+    }
+    if (!write_frame_fd(daemon.wr, req.serialize())) {
+      wire_broken = true;
+      const std::lock_guard<std::mutex> lock(mu);
+      pending.erase(req.id);
+    }
+  };
+
+  for (const Request& req : requests) {
+    if (wire_broken) break;
+    Weight expected = 0;
+    switch (req.op) {
+      case Op::kLoad: {
+        std::istringstream is(req.body);
+        Expected<WeightedGraph> g = try_read_edge_list(is);
+        if (!g) {
+          std::fprintf(stderr, "error: script LOAD id=%lld body: %s\n",
+                       static_cast<long long>(req.id), g.error().to_string().c_str());
+          break;
+        }
+        mirror[req.tenant] = std::move(g.value());
+        break;
+      }
+      case Op::kMutate:
+        // Out-of-range mutations are left to the daemon's BAD_MUTATION
+        // reply (counted as an error response) instead of tripping the
+        // mirror's assertions.
+        if (req.edge >= 0 && req.edge < mirror[req.tenant].m())
+          mirror[req.tenant].set_weight(req.edge, req.new_weight);
+        break;
+      case Op::kSolve:
+        expected = baseline::stoer_wagner(mirror[req.tenant]).value;
+        break;
+      default:
+        break;
+    }
+    send(req, expected);
+  }
+
+  // Drain the data plane first: STATS is control-plane and answered inline
+  // on the daemon's reader thread, so probing early would snapshot sessions
+  // that are still sitting in the scheduler queue.
+  if (!wire_broken) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(120), [&] { return pending.empty(); })) {
+      wire_broken = true;
+      std::fprintf(stderr, "mincut_loadgen: timed out waiting for %zu response(s)\n",
+                   pending.size());
+      kill(daemon.pid, SIGKILL);
+    }
+  }
+
+  // Final probes: a STATS to harvest the per-tenant cache counters, then a
+  // SHUTDOWN; closing our write end is the daemon's EOF.
+  if (!wire_broken) {
+    Request stats;
+    stats.op = Op::kStats;
+    stats.id = stats_probe_id;
+    send(stats, 0);
+    Request shutdown;
+    shutdown.op = Op::kShutdown;
+    shutdown.id = stats_probe_id + 1;
+    send(shutdown, 0);
+  }
+  {
+    // Everything answered before we hang up, so EOF is a clean boundary.
+    // The reader clears `pending` on EOF, so a dead daemon cannot wedge
+    // this wait; a silently hung one is cut off by the deadline.
+    std::unique_lock<std::mutex> lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(120), [&] { return pending.empty(); })) {
+      wire_broken = true;
+      std::fprintf(stderr, "mincut_loadgen: timed out waiting for %zu response(s)\n",
+                   pending.size());
+      kill(daemon.pid, SIGKILL);
+    }
+  }
+  close(daemon.wr);
+  reader.join();
+  close(daemon.rd);
+  int status = 0;
+  waitpid(daemon.pid, &status, 0);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  const double cpu_ms =
+      1e3 * static_cast<double>(std::clock() - cpu0) / CLOCKS_PER_SEC;
+
+  // Per-tenant cache counters out of the final STATS session table: the
+  // proof that sessions (and their packings) were reused, not rebuilt.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  int tenants_resident = 0;
+  {
+    std::istringstream is(tally.last_stats_body);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      ++tenants_resident;
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos) continue;
+        long long v = 0;
+        if (!parse_flag_int(tok.c_str() + eq + 1, 0, 1LL << 60, v)) continue;
+        if (tok.compare(0, eq, "cache_hits") == 0) cache_hits += v;
+        if (tok.compare(0, eq, "cache_misses") == 0) cache_misses += v;
+      }
+    }
+  }
+
+  std::int64_t loads = 0;
+  std::int64_t mutates = 0;
+  std::int64_t solves = 0;
+  for (const Request& r : requests) {
+    loads += r.op == Op::kLoad ? 1 : 0;
+    mutates += r.op == Op::kMutate ? 1 : 0;
+    solves += r.op == Op::kSolve ? 1 : 0;
+  }
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  const auto percentile = [&](double p) {
+    if (tally.latencies_ms.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(tally.latencies_ms.size() - 1));
+    return tally.latencies_ms[idx];
+  };
+  const double p50 = percentile(0.50);
+  const double p99 = percentile(0.99);
+  const double rps = wall_ms > 0.0 ? 1e3 * static_cast<double>(requests.size()) / wall_ms : 0.0;
+
+  const bool daemon_clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  const bool failed = wire_broken || !daemon_clean || tally.audit_mismatches > 0 ||
+                      tally.uncertified > 0 || tally.degraded > 0 ||
+                      tally.responses_err > 0 || tally.unmatched > 0;
+
+  std::fprintf(stderr,
+               "mincut_loadgen: %zu request(s) (%lld load / %lld mutate / %lld solve), "
+               "%lld ok / %lld err, audit_mismatches=%lld uncertified=%lld degraded=%lld\n"
+               "mincut_loadgen: wall %.1f ms (%.0f req/s), latency p50 %.2f ms p99 %.2f ms, "
+               "cache %lld hit / %lld miss across %d session(s), checksum %llu\n",
+               requests.size(), static_cast<long long>(loads),
+               static_cast<long long>(mutates), static_cast<long long>(solves),
+               static_cast<long long>(tally.responses_ok),
+               static_cast<long long>(tally.responses_err),
+               static_cast<long long>(tally.audit_mismatches),
+               static_cast<long long>(tally.uncertified),
+               static_cast<long long>(tally.degraded), wall_ms, rps, p50, p99,
+               static_cast<long long>(cache_hits), static_cast<long long>(cache_misses),
+               tenants_resident, static_cast<unsigned long long>(tally.value_checksum));
+  if (!daemon_clean) std::fprintf(stderr, "mincut_loadgen: daemon exit status %d\n", status);
+  if (tally.unmatched > 0)
+    std::fprintf(stderr, "mincut_loadgen: %lld unmatched/unparsed response(s)\n",
+                 static_cast<long long>(tally.unmatched));
+
+  if (!opt.json_path.empty()) {
+    std::ofstream os(opt.json_path);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
+      return 2;
+    }
+#ifdef UMC_BUILD_PRESET
+    const char* preset = UMC_BUILD_PRESET;
+#else
+    const char* preset = "unknown";
+#endif
+#ifdef UMC_GIT_SHA
+    const char* git_sha = UMC_GIT_SHA;
+#else
+    const char* git_sha = "unknown";
+#endif
+    const char* threads_env = std::getenv("UMC_THREADS");
+    const std::string params = "tenants:" + std::to_string(tenants_resident) +
+                               "/requests:" + std::to_string(requests.size());
+    os << "{\n  \"bench\": \"mincutd\",\n  \"schema_version\": 2,\n"
+       << "  \"build_preset\": \"" << preset << "\",\n"
+       << "  \"git_sha\": \"" << git_sha << "\",\n"
+       << "  \"umc_threads\": \"" << (threads_env == nullptr ? "" : threads_env) << "\",\n"
+       << "  \"runs\": [\n    {\"id\": \"Loadgen/" << params << "\", \"name\": \"Loadgen\", "
+       << "\"params\": \"" << params << "\", \"iterations\": 1, \"wall_ms\": " << wall_ms
+       << ", \"cpu_ms\": " << cpu_ms << ", \"counters\": {"
+       << "\"requests\": " << requests.size() << ", \"loads\": " << loads
+       << ", \"mutates\": " << mutates << ", \"solves\": " << solves
+       << ", \"responses_ok\": " << tally.responses_ok
+       << ", \"responses_err\": " << tally.responses_err
+       << ", \"audit_mismatches\": " << tally.audit_mismatches
+       << ", \"uncertified\": " << tally.uncertified << ", \"degraded\": " << tally.degraded
+       << ", \"value_checksum\": " << tally.value_checksum
+       << ", \"cache_hits_total\": " << cache_hits
+       << ", \"cache_misses_total\": " << cache_misses
+       << ", \"tenants\": " << tenants_resident << ", \"latency_p50_ms\": " << p50
+       << ", \"latency_p99_ms\": " << p99 << ", \"throughput_rps\": " << rps << "}}\n  ]\n}\n";
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  return opt.gen ? run_gen(opt) : run_replay(opt);
+}
